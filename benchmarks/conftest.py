@@ -1,0 +1,449 @@
+"""Shared benchmark machinery for the paper's evaluation (section 5).
+
+The paper measured pairs of ``set_balance``/``get_balance`` calls on a
+600 MHz PIII cluster over 1 Gbit Ethernet (Visibroker 4.1 / JDK 1.3).  Here
+the cluster is the in-memory network with LAN-like per-message latency
+(:data:`LAN_LATENCY`), so configurations that send more messages really pay
+for them — the property the paper's Table 2/3 shapes depend on.
+
+Absolute milliseconds are not comparable to 2001 hardware; the shapes are.
+EXPERIMENTS.md records both.  ``python benchmarks/report.py`` prints the
+three tables in the paper's own layout.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+from repro.core.service import CqosDeployment
+from repro.net.memory import InMemoryNetwork
+from repro.qos import (
+    ActiveRep,
+    DesPrivacy,
+    DesPrivacyServer,
+    MajorityVote,
+    PassiveRep,
+    PassiveRepServer,
+    TimedSched,
+    TotalOrder,
+)
+from repro.qos.timeliness import HIGH_PRIORITY, LOW_PRIORITY
+
+#: One-way per-message latency (seconds) modelling the paper's LAN hop.
+#: Injected as a deterministic busy-wait; every message a configuration
+#: sends costs this much wall-clock on top of its real marshalling and
+#: dispatch CPU, so message-heavy configurations (replication, ordering)
+#: keep the paper's cost shape.
+LAN_LATENCY = 20e-6
+
+#: DES key shared by the privacy configurations.
+DES_KEY_HEX = "0123456789abcdef"
+
+#: Servant CPU weight for the contention benchmarks (Table 3).
+TABLE3_WORK_LOOPS = 8000
+
+#: Benchmark knobs: keep wall-clock bounded across ~40 configurations.
+BENCH_OPTIONS = dict(rounds=30, iterations=10, warmup_rounds=2)
+
+
+def make_deployment(platform: str) -> CqosDeployment:
+    # spin=True: microsecond-accurate latency so the per-component deltas
+    # of Table 1 are not buried in time.sleep scheduling jitter.
+    network = InMemoryNetwork(latency=LAN_LATENCY, spin=True)
+    return CqosDeployment(
+        network, platform=platform, compiled=bank_compiled(), request_timeout=30.0
+    )
+
+
+# --- Table 1: the interception overhead ladder ------------------------------
+
+TABLE1_RUNGS = (
+    "original",
+    "cqos_stub",
+    "cqos_skeleton",
+    "cactus_server",
+    "cactus_client",
+)
+
+
+def build_table1(platform: str, rung: str):
+    """Return (deployment, pair_fn) for one ladder rung."""
+    deployment = make_deployment(platform)
+    iface = bank_interface()
+    if rung == "original":
+        deployment.deploy_plain_replica("acct", BankAccount(), iface)
+        stub = deployment.plain_stub("acct", iface)
+    elif rung == "cqos_stub":
+        deployment.deploy_plain_replica("acct", BankAccount(), iface)
+        stub = deployment.client_stub("acct", iface, with_cactus_client=False)
+    elif rung == "cqos_skeleton":
+        deployment.add_replicas("acct", BankAccount, iface, server_micro_protocols=None)
+        stub = deployment.client_stub("acct", iface, with_cactus_client=False)
+    elif rung == "cactus_server":
+        deployment.add_replicas("acct", BankAccount, iface)
+        stub = deployment.client_stub("acct", iface, with_cactus_client=False)
+    elif rung == "cactus_client":
+        deployment.add_replicas("acct", BankAccount, iface)
+        stub = deployment.client_stub("acct", iface)
+    else:  # pragma: no cover - guarded by parametrize
+        raise ValueError(rung)
+
+    def pair():
+        stub.set_balance(100.0)
+        stub.get_balance()
+
+    pair()  # bind + warm caches outside the measurement
+    return deployment, pair
+
+
+# --- Table 2: QoS configurations ------------------------------------------------
+
+TABLE2_CONFIGS = (
+    "privacy",          # Privacy(DES), 1 server
+    "passive",          # Passive Rep, 3 servers
+    "active",           # Active Rep, 3 servers
+    "active_vote",      # + Vote
+    "active_vote_total",  # + Total
+    "active_total",     # Active+Total
+    "active_total_privacy",  # + Privacy
+)
+
+TABLE2_SERVERS = {
+    "privacy": 1,
+    "passive": 3,
+    "active": 3,
+    "active_vote": 3,
+    "active_vote_total": 3,
+    "active_total": 3,
+    "active_total_privacy": 3,
+}
+
+
+def _table2_protocols(config: str):
+    """(client_factory, server_factory) for one Table 2 row."""
+    key = DES_KEY_HEX
+    client = {
+        "privacy": lambda: [DesPrivacy(key_hex=key)],
+        "passive": lambda: [PassiveRep()],
+        "active": lambda: [ActiveRep()],
+        "active_vote": lambda: [ActiveRep(), MajorityVote()],
+        "active_vote_total": lambda: [ActiveRep(), MajorityVote()],
+        "active_total": lambda: [ActiveRep()],
+        "active_total_privacy": lambda: [ActiveRep(), DesPrivacy(key_hex=key)],
+    }[config]
+    server = {
+        "privacy": lambda: [DesPrivacyServer(key_hex=key)],
+        "passive": lambda: [PassiveRepServer()],
+        "active": None,
+        "active_vote": None,
+        "active_vote_total": lambda: [TotalOrder()],
+        "active_total": lambda: [TotalOrder()],
+        "active_total_privacy": lambda: [TotalOrder(), DesPrivacyServer(key_hex=key)],
+    }[config]
+    return client, server
+
+
+def build_table2(platform: str, config: str):
+    """Return (deployment, pair_fn) for one Table 2 configuration."""
+    deployment = make_deployment(platform)
+    iface = bank_interface()
+    client_factory, server_factory = _table2_protocols(config)
+    deployment.add_replicas(
+        "acct",
+        BankAccount,
+        iface,
+        replicas=TABLE2_SERVERS[config],
+        server_micro_protocols=server_factory if server_factory else "with_base",
+    )
+    stub = deployment.client_stub("acct", iface, client_micro_protocols=client_factory)
+
+    def pair():
+        stub.set_balance(100.0)
+        stub.get_balance()
+
+    pair()
+    return deployment, pair
+
+
+# --- Table 3: service differentiation ---------------------------------------------
+
+TABLE3_CONFIGS = (
+    "timed",              # TimedSched, 1 server
+    "timed_active",       # + Active Rep, 3 servers
+    "timed_active_vote",  # + Vote
+    "timed_active_vote_total",  # + Total
+    "timed_active_total",  # Active+Total
+)
+
+TABLE3_SERVERS = {
+    "timed": 1,
+    "timed_active": 3,
+    "timed_active_vote": 3,
+    "timed_active_vote_total": 3,
+    "timed_active_total": 3,
+}
+
+
+def identity_policy(request):
+    """The paper's priority assignment: statically by client identity."""
+    return HIGH_PRIORITY if request.client_id.startswith("high") else LOW_PRIORITY
+
+
+def _table3_protocols(config: str):
+    client = {
+        "timed": lambda: [],
+        "timed_active": lambda: [ActiveRep()],
+        "timed_active_vote": lambda: [ActiveRep(), MajorityVote()],
+        "timed_active_vote_total": lambda: [ActiveRep(), MajorityVote()],
+        "timed_active_total": lambda: [ActiveRep()],
+    }[config]
+    with_total = config in ("timed_active_vote_total", "timed_active_total")
+
+    def server_factory(replica: int):
+        # The paper's conflict resolution: the differentiation protocol runs
+        # only at the ordering coordinator (replica 1) when TotalOrder is on.
+        protocols = []
+        if with_total:
+            protocols.append(TotalOrder())
+            if replica == 1:
+                protocols.append(TimedSched(period=0.005, high_rate_threshold=2))
+        else:
+            protocols.append(TimedSched(period=0.005, high_rate_threshold=2))
+        return protocols
+
+    return client, server_factory
+
+
+class Table3Load:
+    """Background mixed-priority load (the paper's designated client mix).
+
+    The paper's load came from *separate machines*; co-locating generator
+    and measurement on one core makes a client-thread generator phase-lock
+    with the foreground (the GIL suppresses it exactly while the foreground
+    measures, emptying the windows it should fill).  So the high-priority
+    load is injected as deterministic bursts straight into the coordinator's
+    Cactus server from a timer thread — sleep wakeups preempt CPU-bound
+    threads, so the bursts land on schedule regardless of foreground
+    activity; the requests still traverse the full server pipeline and
+    servant.  The burst/gap alternation guarantees both busy and quiet
+    TimedSched windows, the regime behind the paper's roughly-2x low/high
+    ratio.  Low-priority pressure stays client-based.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        client_factory,
+        cactus_servers,
+        low: int = 2,
+        burst_count: int = 8,
+        cycle: float = 0.030,
+        low_think: float = 0.004,
+    ):
+        self._stop = threading.Event()
+        self._threads = []
+        self._extra_threads = []  # per-replica injectors, spawned lazily
+        # Coordinator first; with TotalOrder the injected requests must reach
+        # every replica (the ActiveRep delivery pattern) or the backups'
+        # execution order stalls behind sequence numbers they never receive.
+        self._servers = [s for s in cactus_servers if s is not None]
+        self._with_total = any(
+            "TotalOrder" in s.micro_protocol_names() for s in self._servers
+        )
+        iface = bank_interface()
+        self._threads.append(
+            threading.Thread(target=self._inject_loop, args=(burst_count, cycle))
+        )
+        for index in range(low):
+            stub = deployment.client_stub(
+                "acct", iface, client_micro_protocols=client_factory,
+                client_id=f"low-bg-{index}", runtime_workers=24,
+            )
+            self._threads.append(
+                threading.Thread(target=self._loop, args=(stub, low_think))
+            )
+        for thread in self._threads:
+            thread.daemon = True
+            thread.start()
+
+    def _inject_loop(self, burst_count: int, cycle: float):
+        """Per cycle: a back-to-back burst of ``burst_count`` highs, then
+        silence until the next cycle boundary — busy then quiet TimedSched
+        windows, with equal injected volume per replica in every
+        configuration (count-based bursts, not time-boxed ones, so the
+        total-order rows see the same load as the independent-replica rows).
+
+        Without TotalOrder each replica gets its own self-pacing injector
+        thread aligned to shared wall-clock cycle boundaries.  With
+        TotalOrder the same request identity must reach every replica;
+        backup copies are delivered by short-lived threads paced by the
+        coordinator's own execution.
+        """
+        import time as _time
+
+        if not self._with_total and len(self._servers) > 1:
+            for server in self._servers[1:]:
+                thread = threading.Thread(
+                    target=self._per_server_burst,
+                    args=(server, burst_count, cycle),
+                    daemon=True,
+                )
+                thread.start()
+                self._extra_threads.append(thread)
+            self._per_server_burst(self._servers[0], burst_count, cycle)
+            return
+
+        from repro.core.request import PB_CLIENT_ID, Request
+
+        def deliver(server, request):
+            try:
+                server.cactus_invoke(request)
+            except Exception:  # noqa: BLE001 - load generator keeps going
+                pass
+
+        while not self._stop.is_set():
+            burst_start = _time.perf_counter()
+            for _ in range(burst_count):
+                if self._stop.is_set():
+                    return
+                requests = [
+                    Request(
+                        "acct", "get_balance", [], piggyback={PB_CLIENT_ID: "high-bg"}
+                    )
+                    for _ in self._servers
+                ]
+                # One identity across replicas, like a real multicast call.
+                for request in requests[1:]:
+                    request.request_id = requests[0].request_id
+                backup_threads = [
+                    threading.Thread(target=deliver, args=(server, request), daemon=True)
+                    for server, request in zip(self._servers[1:], requests[1:])
+                ]
+                for thread in backup_threads:
+                    thread.start()
+                deliver(self._servers[0], requests[0])
+                for thread in backup_threads:
+                    thread.join(timeout=5.0)
+            _time.sleep(max(0.0, cycle - (_time.perf_counter() - burst_start)))
+
+    def _per_server_burst(self, server, burst_count: int, cycle: float):
+        """Cycle-aligned count-based burst generator against one replica."""
+        import time as _time
+
+        from repro.core.request import PB_CLIENT_ID, Request
+
+        while not self._stop.is_set():
+            now = _time.perf_counter()
+            next_boundary = (now // cycle + 1) * cycle
+            for _ in range(burst_count):
+                if self._stop.is_set():
+                    return
+                request = Request(
+                    "acct", "get_balance", [], piggyback={PB_CLIENT_ID: "high-bg"}
+                )
+                try:
+                    server.cactus_invoke(request)
+                except Exception:  # noqa: BLE001 - load generator keeps going
+                    if self._stop.is_set():
+                        return
+            _time.sleep(max(0.0, next_boundary - _time.perf_counter()))
+
+    def _loop(self, stub, think: float):
+        import time as _time
+
+        while not self._stop.is_set():
+            try:
+                stub.get_balance()
+            except Exception:  # noqa: BLE001 - load generator keeps going
+                if self._stop.is_set():
+                    return
+            if think > 0:
+                _time.sleep(think)
+
+    def stop(self):
+        self._stop.set()
+        for thread in self._threads + self._extra_threads:
+            thread.join(timeout=10.0)
+
+
+def build_table3(platform: str, config: str, priority_class: str):
+    """Return (deployment, load, pair_fn measuring one priority class)."""
+    deployment = make_deployment(platform)
+    iface = bank_interface()
+    client_factory, server_factory = _table3_protocols(config)
+    replicas = TABLE3_SERVERS[config]
+    # Per-replica configurations (TimedSched only at the coordinator when
+    # TotalOrder is on) need the lower-level install path.
+    skeletons = _install_table3_replicas(deployment, iface, replicas, server_factory)
+    # High-priority bursts go straight into the Cactus servers (coordinator
+    # first; with TotalOrder the load must reach every replica).
+    load = Table3Load(
+        deployment, client_factory, [s.cactus_server for s in skeletons]
+    )
+    # Gated replicas park replication legs on client pool workers; size
+    # the pool so parked legs never starve fresh sends (see service.py).
+    stub = deployment.client_stub(
+        "acct",
+        iface,
+        client_micro_protocols=client_factory,
+        client_id=f"{priority_class}-fg",
+        runtime_workers=24,
+    )
+
+    def pair():
+        stub.set_balance(100.0)
+        stub.get_balance()
+
+    pair()
+    return deployment, load, pair
+
+
+def _install_table3_replicas(deployment, iface, replicas, server_factory):
+    """Install replicas with per-replica micro-protocol configurations."""
+    from repro.core.adapters.corba import install_corba_replica
+    from repro.core.adapters.rmi import install_rmi_replica
+    from repro.core.server import CactusServer
+
+    skeletons = []
+    for replica in range(1, replicas + 1):
+        host_name = deployment.replica_host_name("acct", replica)
+        deployment._replica_hosts[("acct", replica)] = host_name
+        protocols = server_factory(replica)
+
+        def factory(platform, protocols=protocols):
+            server = CactusServer.with_base(
+                platform,
+                protocols,
+                name=f"cactus-server-acct-{platform.my_replica()}",
+                request_timeout=30.0,
+                priority_policy=identity_policy,
+            )
+            deployment._track(server)
+            return server
+
+        servant = BankAccount(work_loops=TABLE3_WORK_LOOPS)
+        if deployment.platform == "corba":
+            orb = deployment._new_orb(host_name).start()
+            skeletons.append(
+                install_corba_replica(
+                    orb, "acct", replica, servant, iface,
+                    cactus_server_factory=factory, total_replicas=replicas,
+                )
+            )
+        else:
+            runtime = deployment._new_rmi(host_name).start()
+            skeletons.append(
+                install_rmi_replica(
+                    runtime, "acct", replica, servant, iface,
+                    cactus_server_factory=factory, total_replicas=replicas,
+                )
+            )
+    return skeletons
+
+
+@pytest.fixture(params=["corba", "rmi"])
+def bench_platform(request):
+    return request.param

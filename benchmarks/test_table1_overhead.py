@@ -1,0 +1,28 @@
+"""Table 1 reproduction: interception overhead ladder.
+
+Paper rows (average response time for a set_balance + get_balance pair):
+
+    Original CORBA 2.74ms -> +CQoS stub 3.28 -> +CQoS skeleton 3.46
+    -> +Cactus server 3.91 -> +Cactus client 4.31
+    Original RMI 2.19 -> 2.21 -> 2.27 -> 2.43 -> 2.61
+
+Expected shape here: each added component costs more than the previous
+configuration (monotone cumulative overhead); the CQoS conversion overhead
+is larger on the CORBA substrate than on RMI; the RMI baseline is faster.
+"""
+
+import pytest
+
+from conftest import BENCH_OPTIONS, TABLE1_RUNGS, build_table1
+
+
+@pytest.mark.parametrize("rung", TABLE1_RUNGS)
+def test_table1(benchmark, bench_platform, rung):
+    deployment, pair = build_table1(bench_platform, rung)
+    try:
+        benchmark.pedantic(pair, **BENCH_OPTIONS)
+    finally:
+        deployment.close()
+    benchmark.extra_info["table"] = "1"
+    benchmark.extra_info["platform"] = bench_platform
+    benchmark.extra_info["configuration"] = rung

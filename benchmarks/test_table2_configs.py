@@ -1,0 +1,34 @@
+"""Table 2 reproduction: response times per QoS configuration.
+
+Paper rows (set+get pair, ms):
+
+    config              servers   CORBA    RMI
+    Privacy(DES)          1       45.12    8.57
+    Passive Rep           3       11.17    7.01
+    Active Rep            3        8.85    4.40
+    + Vote                3        9.87    4.77
+    + Total               3       14.63    8.14
+    Active+Total          3       12.14    7.40
+    + Privacy             3       73.16   13.63
+
+Expected shapes: every QoS configuration is slower than the bare pipeline;
+DES privacy is expensive (CPU-bound); adding Vote costs a little over
+Active; adding Total costs more than Vote (extra ordering messages);
+Active+Total+Privacy is the most expensive replicated configuration.
+"""
+
+import pytest
+
+from conftest import BENCH_OPTIONS, TABLE2_CONFIGS, build_table2
+
+
+@pytest.mark.parametrize("config", TABLE2_CONFIGS)
+def test_table2(benchmark, bench_platform, config):
+    deployment, pair = build_table2(bench_platform, config)
+    try:
+        benchmark.pedantic(pair, **BENCH_OPTIONS)
+    finally:
+        deployment.close()
+    benchmark.extra_info["table"] = "2"
+    benchmark.extra_info["platform"] = bench_platform
+    benchmark.extra_info["configuration"] = config

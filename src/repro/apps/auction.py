@@ -1,0 +1,135 @@
+"""A replication-sensitive application: an auction house.
+
+Where BankAccount shows overheads, the auction house shows *correctness*
+stakes: ``place_bid`` outcomes depend on execution order (a bid must beat
+the current leader), so replicas processing concurrent bids in different
+orders genuinely diverge — the workload total ordering exists for.  The
+paper's near-term future work includes "experimenting with more realistic
+applications"; this is one.
+
+The servant is deterministic (no clocks, no randomness) so active
+replication reproduces state exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.idl.compiler import CompiledIdl, compile_idl
+
+AUCTION_IDL = """
+module auction {
+  exception NoSuchAuction { string item; };
+  exception AuctionClosed { string item; };
+  exception BidTooLow {
+    string item;
+    double offered;
+    double minimum;
+  };
+
+  interface AuctionHouse {
+    void open_auction(in string item, in double reserve);
+    double place_bid(in string item, in string bidder, in double amount)
+        raises (NoSuchAuction, AuctionClosed, BidTooLow);
+    any leader(in string item) raises (NoSuchAuction);
+    string close_auction(in string item) raises (NoSuchAuction, AuctionClosed);
+    sequence<any> bid_history(in string item) raises (NoSuchAuction);
+    long auctions_open();
+  };
+};
+"""
+
+_lock = threading.Lock()
+_compiled: CompiledIdl | None = None
+
+
+def auction_compiled() -> CompiledIdl:
+    """The compiled auction IDL (compiled once per process)."""
+    global _compiled
+    with _lock:
+        if _compiled is None:
+            _compiled = compile_idl(AUCTION_IDL)
+        return _compiled
+
+
+def auction_interface():
+    return auction_compiled().interface("auction::AuctionHouse")
+
+
+class _Auction:
+    def __init__(self, reserve: float):
+        self.reserve = reserve
+        self.open = True
+        self.leader: str | None = None
+        self.leading_amount = 0.0
+        self.history: list[dict] = []
+
+
+class AuctionHouse:
+    """The servant: order-sensitive, deterministic, thread-safe."""
+
+    def __init__(self, min_increment: float = 1.0):
+        self._min_increment = min_increment
+        self._auctions: dict[str, _Auction] = {}
+        self._state_lock = threading.Lock()
+
+    def _get(self, item: str) -> _Auction:
+        auction = self._auctions.get(item)
+        if auction is None:
+            raise auction_compiled().exceptions["auction::NoSuchAuction"](item=item)
+        return auction
+
+    # -- IDL operations ------------------------------------------------------
+
+    def open_auction(self, item: str, reserve: float) -> None:
+        with self._state_lock:
+            # Re-opening an existing item resets it; deterministic either way.
+            self._auctions[item] = _Auction(reserve)
+
+    def place_bid(self, item: str, bidder: str, amount: float) -> float:
+        """Accept the bid iff it beats reserve and leader + increment.
+
+        Returns the new leading amount.  The outcome depends on every prior
+        accepted bid — the order-sensitivity that makes this the total-order
+        demonstration workload.
+        """
+        compiled = auction_compiled()
+        with self._state_lock:
+            auction = self._get(item)
+            if not auction.open:
+                raise compiled.exceptions["auction::AuctionClosed"](item=item)
+            minimum = max(
+                auction.reserve,
+                auction.leading_amount + (self._min_increment if auction.leader else 0.0),
+            )
+            if amount < minimum:
+                raise compiled.exceptions["auction::BidTooLow"](
+                    item=item, offered=amount, minimum=minimum
+                )
+            auction.leader = bidder
+            auction.leading_amount = amount
+            auction.history.append({"bidder": bidder, "amount": amount})
+            return amount
+
+    def leader(self, item: str):
+        with self._state_lock:
+            auction = self._get(item)
+            if auction.leader is None:
+                return None
+            return [auction.leader, auction.leading_amount]
+
+    def close_auction(self, item: str) -> str:
+        with self._state_lock:
+            auction = self._get(item)
+            if not auction.open:
+                raise auction_compiled().exceptions["auction::AuctionClosed"](item=item)
+            auction.open = False
+            return auction.leader or ""
+
+    def bid_history(self, item: str) -> list:
+        with self._state_lock:
+            return [dict(entry) for entry in self._get(item).history]
+
+    def auctions_open(self) -> int:
+        with self._state_lock:
+            return sum(1 for auction in self._auctions.values() if auction.open)

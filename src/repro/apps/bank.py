@@ -1,0 +1,125 @@
+"""The BankAccount test application (paper section 5).
+
+"The performance of the approach was tested using a simple BankAccount
+object that provides operations for setting and retrieving the balance of
+a bank account."  ``set_balance``/``get_balance`` are the two operations
+every benchmark table measures in pairs; the IDL also declares the richer
+operations the examples use (deposit/withdraw/transfer history).
+
+``work_loops`` models servant CPU cost: each operation spins a small
+arithmetic loop, so contention benchmarks (Table 3) have something to
+contend over.  Zero by default.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.idl.compiler import CompiledIdl, compile_idl
+
+BANK_IDL = """
+module bank {
+  exception InsufficientFunds {
+    string reason;
+    double requested;
+    double available;
+  };
+
+  struct Movement {
+    string kind;
+    double amount;
+    double balance_after;
+  };
+
+  interface BankAccount {
+    double get_balance();
+    void set_balance(in double amount);
+    double deposit(in double amount);
+    double withdraw(in double amount) raises (InsufficientFunds);
+    sequence<any> history(in long count);
+    string owner();
+  };
+};
+"""
+
+_lock = threading.Lock()
+_compiled: CompiledIdl | None = None
+
+
+def bank_compiled() -> CompiledIdl:
+    """The compiled bank IDL (compiled once per process)."""
+    global _compiled
+    with _lock:
+        if _compiled is None:
+            _compiled = compile_idl(BANK_IDL)
+        return _compiled
+
+
+def bank_interface():
+    """The BankAccount interface metadata."""
+    return bank_compiled().interface("bank::BankAccount")
+
+
+class BankAccount:
+    """The servant: deterministic, thread-safe, optionally CPU-weighted."""
+
+    def __init__(self, owner: str = "alice", balance: float = 0.0, work_loops: int = 0):
+        self._owner = owner
+        self._balance = float(balance)
+        self._work_loops = work_loops
+        self._history: list[dict] = []
+        self._state_lock = threading.Lock()
+
+    def _work(self) -> None:
+        # Synthetic servant CPU cost (integer spin, GIL-bound like the rest
+        # of the simulation, which is what makes contention visible).
+        acc = 0
+        for i in range(self._work_loops):
+            acc += i * i
+        if acc < 0:  # pragma: no cover - keeps the loop from being elided
+            raise AssertionError
+
+    def _record(self, kind: str, amount: float) -> None:
+        self._history.append(
+            {"kind": kind, "amount": amount, "balance_after": self._balance}
+        )
+
+    # -- IDL operations -----------------------------------------------------
+
+    def get_balance(self) -> float:
+        with self._state_lock:
+            self._work()
+            return self._balance
+
+    def set_balance(self, amount: float) -> None:
+        with self._state_lock:
+            self._work()
+            self._balance = float(amount)
+            self._record("set", amount)
+
+    def deposit(self, amount: float) -> float:
+        with self._state_lock:
+            self._work()
+            self._balance += amount
+            self._record("deposit", amount)
+            return self._balance
+
+    def withdraw(self, amount: float) -> float:
+        with self._state_lock:
+            self._work()
+            if amount > self._balance:
+                raise bank_compiled().exceptions["bank::InsufficientFunds"](
+                    reason="insufficient funds",
+                    requested=amount,
+                    available=self._balance,
+                )
+            self._balance -= amount
+            self._record("withdraw", amount)
+            return self._balance
+
+    def history(self, count: int) -> list:
+        with self._state_lock:
+            return [dict(m) for m in self._history[-count:]]
+
+    def owner(self) -> str:
+        return self._owner

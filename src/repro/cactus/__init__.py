@@ -1,0 +1,67 @@
+"""Cactus: the configurable-protocol framework (Cactus/J analog).
+
+A Cactus *composite protocol* is a container of *micro-protocols*: software
+modules structured as collections of *event handlers*.  Customization is
+choosing which micro-protocols to start; coordination between them happens
+through events:
+
+- handlers bind to named events with an explicit **order** and optional
+  **static arguments** (passed on every activation);
+- events are **raised** blocking (handlers run in the raising thread, caller
+  continues when all complete), non-blocking (handlers run on the runtime's
+  priority pool), or with a **delay**;
+- a handler can **halt** an occurrence, overriding later-ordered handlers —
+  the mechanism base micro-protocols rely on when they bind ``ORDER_LAST``;
+- the two Cactus/J runtime changes from the paper's section 3.4 are
+  reproduced: ``raise_event`` accepts an explicit thread priority, and
+  handlers otherwise run at the raiser's priority.
+
+:mod:`repro.cactus.dynamic` reproduces rBoot/rControl-style dynamic
+customization, loading micro-protocols by registered name from a peer or a
+configuration service at composite-creation time.
+"""
+
+from repro.cactus.events import (
+    Binding,
+    Event,
+    Occurrence,
+    ORDER_DEFAULT,
+    ORDER_EARLY,
+    ORDER_FIRST,
+    ORDER_LAST,
+    ORDER_LATE,
+)
+from repro.cactus.runtime import CactusRuntime
+from repro.cactus.composite import CompositeProtocol, MicroProtocol
+from repro.cactus.message import Message
+from repro.cactus.config import (
+    MicroProtocolSpec,
+    build_micro_protocols,
+    micro_protocol_registry,
+    parse_config_text,
+    register_micro_protocol,
+)
+from repro.cactus.dynamic import ConfigurationService, RBoot, RControl
+
+__all__ = [
+    "Event",
+    "Occurrence",
+    "Binding",
+    "ORDER_FIRST",
+    "ORDER_EARLY",
+    "ORDER_DEFAULT",
+    "ORDER_LATE",
+    "ORDER_LAST",
+    "CactusRuntime",
+    "CompositeProtocol",
+    "MicroProtocol",
+    "Message",
+    "MicroProtocolSpec",
+    "register_micro_protocol",
+    "micro_protocol_registry",
+    "build_micro_protocols",
+    "parse_config_text",
+    "ConfigurationService",
+    "RBoot",
+    "RControl",
+]

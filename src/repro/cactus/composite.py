@@ -1,0 +1,289 @@
+"""Composite protocols and the micro-protocol base class.
+
+A :class:`CompositeProtocol` owns a namespace of events, a runtime, shared
+data, and a set of started micro-protocols.  A :class:`MicroProtocol`
+implements one service property as event handlers; its ``start()`` binds
+them and ``stop()`` unbinds them, so configurations can also change during
+execution (the dynamic-customization path).
+
+Raise modes:
+
+- ``composite.raise_event(name, *args)`` — blocking: handlers run in the
+  calling thread; the call returns when all (non-halted) handlers have run;
+- ``mode="async"`` — non-blocking: handlers run on the runtime pool, at the
+  caller's priority unless ``priority=`` is given (the paper's modified
+  raise operation);
+- ``delay=seconds`` — time-driven execution; returns a cancellable handle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.cactus.events import (
+    Binding,
+    DelayedRaise,
+    Event,
+    Handler,
+    ORDER_DEFAULT,
+    current_event,
+    validate_event_name,
+)
+from repro.cactus.runtime import CactusRuntime
+from repro.util.concurrency import ResultFuture
+from repro.util.errors import ConfigurationError
+
+
+class SharedData:
+    """A small thread-safe key/value store shared by micro-protocols."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._data: dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+
+    def setdefault(self, key: str, value: Any) -> Any:
+        with self._lock:
+            return self._data.setdefault(key, value)
+
+    def update(self, key: str, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        """Atomically replace ``key`` with ``fn(current)``; returns the new value."""
+        with self._lock:
+            new_value = fn(self._data.get(key, default))
+            self._data[key] = new_value
+            return new_value
+
+    def pop(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.pop(key, default)
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The store's lock, for multi-key critical sections."""
+        return self._lock
+
+
+class CompositeProtocol:
+    """A container of micro-protocols coordinating through events."""
+
+    def __init__(self, name: str, runtime: CactusRuntime | None = None):
+        self.name = name
+        self.runtime = runtime or CactusRuntime(name=f"{name}-rt")
+        self.shared = SharedData()
+        self._events: dict[str, Event] = {}
+        self._events_lock = threading.Lock()
+        self._micro_protocols: dict[str, "MicroProtocol"] = {}
+        self._mp_lock = threading.Lock()
+        # Causality tracing (Figure 3 reproduction).
+        self._trace_lock = threading.Lock()
+        self._tracing = False
+        self._trace_edges: set[tuple[str, str]] = set()
+        # Lightweight observability: per-event raise counts.
+        self._stats_lock = threading.Lock()
+        self._raise_counts: dict[str, int] = {}
+
+    # -- events ----------------------------------------------------------
+
+    def event(self, name: str) -> Event:
+        """Return the event named ``name``, creating it on first use."""
+        validate_event_name(name)
+        with self._events_lock:
+            event = self._events.get(name)
+            if event is None:
+                event = Event(self, name)
+                self._events[name] = event
+            return event
+
+    def delete_event(self, name: str) -> None:
+        with self._events_lock:
+            self._events.pop(name, None)
+
+    def event_names(self) -> list[str]:
+        with self._events_lock:
+            return sorted(self._events)
+
+    def bind(
+        self,
+        event_name: str,
+        handler: Handler,
+        order: int = ORDER_DEFAULT,
+        static_args: tuple = (),
+    ) -> Binding:
+        return self.event(event_name).bind(handler, order=order, static_args=static_args)
+
+    def raise_event(
+        self,
+        event_name: str,
+        *args: Any,
+        mode: str = "blocking",
+        delay: float = 0.0,
+        priority: int | None = None,
+    ) -> ResultFuture | DelayedRaise | None:
+        """Raise an event (see module docstring for modes).
+
+        Returns None for blocking raises, a future for async raises, and a
+        cancellable :class:`DelayedRaise` handle when ``delay`` is set.
+        """
+        if mode not in ("blocking", "async"):
+            raise ConfigurationError(f"unknown raise mode {mode!r}")
+        event = self.event(event_name)
+        parent = current_event(self)
+        self._record_edge(parent, event_name)
+        with self._stats_lock:
+            self._raise_counts[event_name] = self._raise_counts.get(event_name, 0) + 1
+        if delay > 0.0:
+            handle = DelayedRaise()
+            self.runtime.submit_delayed(
+                delay,
+                event._execute,
+                args,
+                parent,
+                priority=priority,
+                cancelled=lambda: handle.cancelled,
+            )
+            return handle
+        if mode == "async":
+            return self.runtime.submit(event._execute, args, parent, priority=priority)
+        event._execute(args, parent)
+        return None
+
+    # -- micro-protocols ----------------------------------------------------
+
+    def add_micro_protocol(self, micro_protocol: "MicroProtocol") -> "MicroProtocol":
+        """Install and start a micro-protocol (also the dynamic-load path)."""
+        with self._mp_lock:
+            if micro_protocol.name in self._micro_protocols:
+                raise ConfigurationError(
+                    f"micro-protocol {micro_protocol.name!r} already configured in {self.name}"
+                )
+            self._micro_protocols[micro_protocol.name] = micro_protocol
+        micro_protocol._attach(self)
+        micro_protocol.start()
+        return micro_protocol
+
+    def configure(self, micro_protocols: Iterable["MicroProtocol"]) -> None:
+        """Static customization: install a whole configuration at once."""
+        for micro_protocol in micro_protocols:
+            self.add_micro_protocol(micro_protocol)
+
+    def remove_micro_protocol(self, name: str) -> None:
+        with self._mp_lock:
+            micro_protocol = self._micro_protocols.pop(name, None)
+        if micro_protocol is not None:
+            micro_protocol.stop()
+
+    def micro_protocol(self, name: str) -> "MicroProtocol":
+        with self._mp_lock:
+            micro_protocol = self._micro_protocols.get(name)
+        if micro_protocol is None:
+            raise ConfigurationError(f"no micro-protocol {name!r} in {self.name}")
+        return micro_protocol
+
+    def micro_protocol_names(self) -> list[str]:
+        with self._mp_lock:
+            return sorted(self._micro_protocols)
+
+    def shutdown(self) -> None:
+        with self._mp_lock:
+            micro_protocols = list(self._micro_protocols.values())
+            self._micro_protocols.clear()
+        for micro_protocol in micro_protocols:
+            micro_protocol.stop()
+
+    # -- tracing ---------------------------------------------------------------
+
+    def enable_tracing(self) -> None:
+        with self._trace_lock:
+            self._tracing = True
+            self._trace_edges.clear()
+
+    def disable_tracing(self) -> None:
+        with self._trace_lock:
+            self._tracing = False
+
+    def trace_edges(self) -> set[tuple[str, str]]:
+        """Observed (raising event -> raised event) causal edges."""
+        with self._trace_lock:
+            return set(self._trace_edges)
+
+    def _record_edge(self, parent: str | None, child: str) -> None:
+        if parent is None:
+            return
+        with self._trace_lock:
+            if self._tracing:
+                self._trace_edges.add((parent, child))
+
+    # -- observability -----------------------------------------------------
+
+    def event_stats(self) -> dict[str, int]:
+        """Raise counts per event name since creation (or the last reset)."""
+        with self._stats_lock:
+            return dict(self._raise_counts)
+
+    def reset_event_stats(self) -> None:
+        with self._stats_lock:
+            self._raise_counts.clear()
+
+
+class MicroProtocol:
+    """Base class for micro-protocols.
+
+    Subclasses implement :meth:`start` by calling :meth:`bind` for each
+    handler; bindings are tracked so :meth:`stop` (and therefore dynamic
+    reconfiguration) cleans up automatically.
+    """
+
+    #: Default instance name; instances may override via constructor.
+    name = "micro-protocol"
+
+    def __init__(self, name: str | None = None):
+        if name is not None:
+            self.name = name
+        self._composite: CompositeProtocol | None = None
+        self._bindings: list[Binding] = []
+
+    def _attach(self, composite: CompositeProtocol) -> None:
+        self._composite = composite
+
+    @property
+    def composite(self) -> CompositeProtocol:
+        if self._composite is None:
+            raise ConfigurationError(
+                f"micro-protocol {self.name!r} is not attached to a composite"
+            )
+        return self._composite
+
+    @property
+    def shared(self) -> SharedData:
+        return self.composite.shared
+
+    def bind(
+        self,
+        event_name: str,
+        handler: Handler,
+        order: int = ORDER_DEFAULT,
+        static_args: tuple = (),
+    ) -> Binding:
+        binding = self.composite.bind(event_name, handler, order=order, static_args=static_args)
+        self._bindings.append(binding)
+        return binding
+
+    def raise_event(self, event_name: str, *args: Any, **kwargs: Any):
+        return self.composite.raise_event(event_name, *args, **kwargs)
+
+    def start(self) -> None:
+        """Bind handlers.  Subclasses override."""
+
+    def stop(self) -> None:
+        """Unbind all handlers bound through :meth:`bind`."""
+        for binding in self._bindings:
+            binding.unbind()
+        self._bindings.clear()

@@ -1,0 +1,142 @@
+"""Static configuration of composite protocols.
+
+The paper offers two static-customization routes: modifying the composite
+protocol's constructor, or a configuration file read at construction time.
+This module provides the second one:
+
+- micro-protocol classes register under stable names
+  (:func:`register_micro_protocol`);
+- a configuration is a list of :class:`MicroProtocolSpec` (name +
+  parameters), writable as plain text, one micro-protocol per line::
+
+      # client configuration
+      ActiveRep
+      MajorityVote
+      DesPrivacy key_name=bank-des
+
+- :func:`build_micro_protocols` instantiates a configuration against the
+  registry, producing the list a composite's ``configure()`` takes.
+
+The same registry is what the dynamic path (:mod:`repro.cactus.dynamic`)
+loads from, standing in for Cactus/J's Java dynamic code loading — we load
+trusted registered classes by name rather than shipping bytecode.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.cactus.composite import MicroProtocol
+
+_registry: dict[str, type] = {}
+_registry_lock = threading.Lock()
+
+
+def register_micro_protocol(name: str, cls: type | None = None):
+    """Register a micro-protocol class under ``name``.
+
+    Usable directly or as a class decorator::
+
+        @register_micro_protocol("ActiveRep")
+        class ActiveRep(MicroProtocol): ...
+    """
+
+    def do_register(target: type) -> type:
+        with _registry_lock:
+            existing = _registry.get(name)
+            if existing is not None and existing is not target:
+                raise ConfigurationError(f"micro-protocol name {name!r} already registered")
+            _registry[name] = target
+        return target
+
+    if cls is not None:
+        return do_register(cls)
+    return do_register
+
+
+def micro_protocol_registry() -> dict[str, type]:
+    """A snapshot of the registered micro-protocol classes."""
+    with _registry_lock:
+        return dict(_registry)
+
+
+@dataclass
+class MicroProtocolSpec:
+    """One configured micro-protocol: registered name + keyword parameters."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "MicroProtocolSpec":
+        return cls(name=wire["name"], params=dict(wire.get("params", {})))
+
+
+def _parse_scalar(text: str) -> Any:
+    """Parse a config scalar: int, float, bool, or string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_config_text(text: str) -> list[MicroProtocolSpec]:
+    """Parse the one-micro-protocol-per-line configuration format."""
+    specs: list[MicroProtocolSpec] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        params: dict[str, Any] = {}
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ConfigurationError(
+                    f"config line {line_number}: parameter {part!r} is not key=value"
+                )
+            params[key] = _parse_scalar(value)
+        specs.append(MicroProtocolSpec(name=parts[0], params=params))
+    return specs
+
+
+def load_config_file(path: str) -> list[MicroProtocolSpec]:
+    """Read and parse a configuration file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_config_text(handle.read())
+
+
+def build_micro_protocols(specs: list[MicroProtocolSpec]) -> list["MicroProtocol"]:
+    """Instantiate a configuration against the registry."""
+    registry = micro_protocol_registry()
+    instances = []
+    for spec in specs:
+        cls = registry.get(spec.name)
+        if cls is None:
+            known = ", ".join(sorted(registry)) or "<none>"
+            raise ConfigurationError(
+                f"unknown micro-protocol {spec.name!r}; registered: {known}"
+            )
+        try:
+            instances.append(cls(**spec.params))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for micro-protocol {spec.name!r}: {exc}"
+            ) from exc
+    return instances

@@ -1,0 +1,203 @@
+"""Cactus events, bindings, and occurrence execution.
+
+Semantics (from the paper, sections 2.3.1 and 3.1):
+
+- binding attaches a handler to an event with an *order* and optional
+  *static arguments* passed on every activation (ActiveRep binds its
+  assigner once per server replica, the replica number being the static
+  argument);
+- raising executes **all** bound handlers in ascending order (ties run in
+  binding order);
+- a handler may call :meth:`Occurrence.halt`, which prevents handlers bound
+  with a **strictly greater** order from running while letting same-order
+  peers complete — this is the override mechanism: base handlers bind
+  ``ORDER_LAST``, so any earlier handler can replace the default behaviour
+  ("the actAssigner handlers override the base assigner by executing before
+  it and halting further execution associated with the event").
+  :meth:`Occurrence.halt_all` stops everything, including same-order peers;
+- handlers see the dynamic arguments of the raise through
+  :attr:`Occurrence.args`.
+
+Causal tracing: when enabled on the composite, every ``raise`` records an
+edge from the event whose handler performed the raise — the data behind the
+Figure 3 reproduction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.cactus.composite import CompositeProtocol
+
+ORDER_FIRST = 0
+ORDER_EARLY = 25
+ORDER_DEFAULT = 50
+ORDER_LATE = 75
+ORDER_LAST = 100
+
+Handler = Callable[..., None]
+
+# Thread-local stack of (composite, event name) currently being handled,
+# for causality tracing.  Scoped per composite: with an in-process network
+# a server composite's dispatch can run on a thread that is still inside a
+# *client* composite's handler, and that cross-composite context must not
+# produce edges.
+_handling = threading.local()
+
+
+def _handling_stack() -> list[tuple[object, str]]:
+    stack = getattr(_handling, "stack", None)
+    if stack is None:
+        stack = []
+        _handling.stack = stack
+    return stack
+
+
+def current_event(composite: object | None = None) -> str | None:
+    """The event this thread is handling (within ``composite``, if given)."""
+    stack = _handling_stack()
+    if not stack:
+        return None
+    if composite is None:
+        return stack[-1][1]
+    owner, name = stack[-1]
+    return name if owner is composite else None
+
+
+class Binding:
+    """One handler attached to one event."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, event: "Event", handler: Handler, order: int, static_args: tuple):
+        self.event = event
+        self.handler = handler
+        self.order = order
+        self.static_args = static_args
+        self.id = next(Binding._ids)
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def unbind(self) -> None:
+        """Detach this handler from the event.  Idempotent."""
+        if self._active:
+            self._active = False
+            self.event._remove(self)
+
+    def __repr__(self) -> str:
+        name = getattr(self.handler, "__name__", repr(self.handler))
+        return f"Binding({self.event.name}, {name}, order={self.order})"
+
+
+class Occurrence:
+    """One raise of an event: the object handlers receive first."""
+
+    def __init__(self, event: "Event", args: tuple, parent_event: str | None):
+        self.event = event
+        self.args = args
+        self.parent_event = parent_event
+        self._halt_order: int | None = None
+        self._halt_all = False
+
+    @property
+    def composite(self) -> "CompositeProtocol":
+        return self.event.composite
+
+    def halt(self) -> None:
+        """Skip handlers bound with a strictly greater order (override)."""
+        self._halt_all = True  # refined per-handler in _execute
+
+    def halt_all(self) -> None:
+        """Skip every remaining handler, including same-order peers."""
+        self._halt_all = True
+        self._halt_order = -1
+
+
+class Event:
+    """A named event owned by a composite protocol."""
+
+    def __init__(self, composite: "CompositeProtocol", name: str):
+        self.composite = composite
+        self.name = name
+        self._lock = threading.Lock()
+        self._bindings: list[Binding] = []
+
+    def bind(self, handler: Handler, order: int = ORDER_DEFAULT, static_args: tuple = ()) -> Binding:
+        """Attach ``handler``; it runs on every raise as
+        ``handler(occurrence, *static_args)``."""
+        binding = Binding(self, handler, order, tuple(static_args))
+        with self._lock:
+            self._bindings.append(binding)
+            self._bindings.sort(key=lambda b: (b.order, b.id))
+        return binding
+
+    def _remove(self, binding: Binding) -> None:
+        with self._lock:
+            if binding in self._bindings:
+                self._bindings.remove(binding)
+
+    def bindings(self) -> list[Binding]:
+        with self._lock:
+            return list(self._bindings)
+
+    def handler_count(self) -> int:
+        with self._lock:
+            return len(self._bindings)
+
+    def _execute(self, args: tuple, parent_event: str | None) -> Occurrence:
+        """Run all handlers in order; honours halt semantics.
+
+        Returns the occurrence so callers can inspect halt state.
+        """
+        occurrence = Occurrence(self, args, parent_event)
+        snapshot = self.bindings()
+        stack = _handling_stack()
+        halted_after: int | None = None  # order threshold set by halt()
+        for binding in snapshot:
+            if not binding.active:
+                continue
+            if occurrence._halt_order == -1:
+                break  # halt_all
+            if halted_after is not None and binding.order > halted_after:
+                break
+            stack.append((self.composite, self.name))
+            try:
+                occurrence._halt_all = False
+                binding.handler(occurrence, *binding.static_args)
+                if occurrence._halt_all and occurrence._halt_order != -1:
+                    # halt(): let same-order peers run, stop later orders.
+                    halted_after = binding.order
+            finally:
+                stack.pop()
+        return occurrence
+
+    def __repr__(self) -> str:
+        return f"Event({self.name}, handlers={self.handler_count()})"
+
+
+class DelayedRaise:
+    """Handle for a delayed raise; supports cancellation before firing."""
+
+    def __init__(self) -> None:
+        self._cancelled = threading.Event()
+
+    def cancel(self) -> None:
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+
+def validate_event_name(name: str) -> str:
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"invalid event name: {name!r}")
+    return name

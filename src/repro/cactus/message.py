@@ -1,0 +1,61 @@
+"""The Cactus message abstraction.
+
+Cactus provides a message type "designed to facilitate development of
+configurable services": a payload plus a bag of named attributes that
+micro-protocols may add, read, and remove independently — so a privacy
+micro-protocol can attach a ciphertext attribute while an ordering
+micro-protocol attaches a sequence number, neither knowing about the other.
+
+In CQoS the role of the message is mostly played by the abstract request
+(:mod:`repro.core.request`), but the replica control plane (total-order
+announcements, passive-replication forwarding) ships :class:`Message`
+instances, and it is exercised directly by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.util.errors import ConfigurationError
+
+
+class Message:
+    """A payload with micro-protocol-extensible named attributes."""
+
+    def __init__(self, payload: Any = None, **attributes: Any):
+        self.payload = payload
+        self._attributes: dict[str, Any] = dict(attributes)
+
+    def set_attribute(self, name: str, value: Any) -> None:
+        self._attributes[name] = value
+
+    def get_attribute(self, name: str, default: Any = None) -> Any:
+        return self._attributes.get(name, default)
+
+    def require_attribute(self, name: str) -> Any:
+        if name not in self._attributes:
+            raise ConfigurationError(f"message lacks required attribute {name!r}")
+        return self._attributes[name]
+
+    def remove_attribute(self, name: str) -> Any:
+        return self._attributes.pop(name, None)
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self._attributes
+
+    def attribute_names(self) -> Iterator[str]:
+        return iter(sorted(self._attributes))
+
+    def to_wire(self) -> dict:
+        """A codec-friendly dict representation."""
+        return {"payload": self.payload, "attributes": dict(self._attributes)}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Message":
+        message = cls(wire.get("payload"))
+        message._attributes = dict(wire.get("attributes", {}))
+        return message
+
+    def __repr__(self) -> str:
+        names = ",".join(self.attribute_names())
+        return f"Message(payload={self.payload!r}, attributes=[{names}])"

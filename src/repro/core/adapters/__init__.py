@@ -1,0 +1,42 @@
+"""Platform adapters: the middleware-specific halves of the interceptors.
+
+One module per supported platform (paper section 4):
+
+- :mod:`repro.core.adapters.corba` — DSI skeleton, DII stub path, the
+  ``OID_agent_poa_i`` / ``OID_CQoS_Skeleton`` POA naming convention, and
+  replica discovery through the naming service;
+- :mod:`repro.core.adapters.rmi` — generic-invoke skeleton proxy,
+  ``OID_CQoS_Skeleton_i`` registry naming convention.
+
+Each exposes a ``ClientPlatform`` and a ``ServerPlatform`` implementation
+plus an ``install_*_replica`` helper; the Cactus protocols above never see
+which one is in use.
+"""
+
+from repro.core.adapters.corba import (
+    CorbaClientPlatform,
+    CorbaCqosSkeletonServant,
+    CorbaServerPlatform,
+    corba_replica_name,
+    install_corba_replica,
+)
+from repro.core.adapters.rmi import (
+    RmiClientPlatform,
+    RmiCqosSkeletonServant,
+    RmiServerPlatform,
+    install_rmi_replica,
+    rmi_skeleton_name,
+)
+
+__all__ = [
+    "CorbaClientPlatform",
+    "CorbaServerPlatform",
+    "CorbaCqosSkeletonServant",
+    "install_corba_replica",
+    "corba_replica_name",
+    "RmiClientPlatform",
+    "RmiServerPlatform",
+    "RmiCqosSkeletonServant",
+    "install_rmi_replica",
+    "rmi_skeleton_name",
+]

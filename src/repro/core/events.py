@@ -1,0 +1,67 @@
+"""The CQoS event vocabulary (paper Figure 3).
+
+Client-side events:
+
+- ``newRequest(request)`` — raised by ``cactus_request()``;
+- ``readyToSend(request, server)`` — the request is ready to go to replica
+  ``server`` (1-based); raised once by the base assigner, or once per
+  replica (asynchronously) by ActiveRep;
+- ``invokeSuccess(request, server, reply)`` / ``invokeFailure(request,
+  server, reply)`` — the invocation on ``server`` completed or failed.
+
+Server-side events:
+
+- ``newServerRequest(request)`` — raised by ``cactus_invoke()``;
+- ``readyToInvoke(request)`` — the request may be passed to the servant;
+- ``invokeReturn(request)`` — the servant invocation returned;
+- ``requestReturned(request)`` — the reply has been sent back to the client
+  side (raised by the service-differentiation micro-protocols).
+
+``FIGURE3_EDGES`` is the exact causal-edge set of the paper's Figure 3; the
+benchmark ``benchmarks/test_figure3_events.py`` checks the edges observed
+from real invocations against it.
+"""
+
+EV_NEW_REQUEST = "newRequest"
+EV_READY_TO_SEND = "readyToSend"
+EV_INVOKE_SUCCESS = "invokeSuccess"
+EV_INVOKE_FAILURE = "invokeFailure"
+
+EV_NEW_SERVER_REQUEST = "newServerRequest"
+EV_READY_TO_INVOKE = "readyToInvoke"
+EV_INVOKE_RETURN = "invokeReturn"
+EV_REQUEST_RETURNED = "requestReturned"
+
+CLIENT_EVENTS = (
+    EV_NEW_REQUEST,
+    EV_READY_TO_SEND,
+    EV_INVOKE_SUCCESS,
+    EV_INVOKE_FAILURE,
+)
+
+SERVER_EVENTS = (
+    EV_NEW_SERVER_REQUEST,
+    EV_READY_TO_INVOKE,
+    EV_INVOKE_RETURN,
+    EV_REQUEST_RETURNED,
+)
+
+#: The causal arrows of the paper's Figure 3 (an arrow ev1 -> ev2 means a
+#: handler processing ev1 raises ev2).
+FIGURE3_CLIENT_EDGES = {
+    (EV_NEW_REQUEST, EV_READY_TO_SEND),
+    (EV_READY_TO_SEND, EV_INVOKE_SUCCESS),
+    (EV_READY_TO_SEND, EV_INVOKE_FAILURE),
+}
+
+FIGURE3_SERVER_EDGES = {
+    (EV_NEW_SERVER_REQUEST, EV_READY_TO_INVOKE),
+    (EV_READY_TO_INVOKE, EV_INVOKE_RETURN),
+    (EV_INVOKE_RETURN, EV_REQUEST_RETURNED),
+}
+
+FIGURE3_EDGES = FIGURE3_CLIENT_EDGES | FIGURE3_SERVER_EDGES
+
+#: Prefix for replica control-plane events (total-order announcements,
+#: passive-replication forwarding): kind "order" arrives as "control:order".
+CONTROL_EVENT_PREFIX = "control:"

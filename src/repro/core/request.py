@@ -1,0 +1,231 @@
+"""The abstract request: CQoS's platform-independent unit of work.
+
+"The request is represented as a Java class, where the request parameters
+are represented as a vector of Java objects.  This interface provides a set
+of accessor methods to get and set parameters and return values.  …  The
+request object also provides a field for piggybacking additional parameters
+onto the request."  (paper, section 2.2)
+
+One :class:`Request` instance exists per invocation on each side:
+
+- the CQoS stub builds one from the client's method call; micro-protocols
+  manipulate its parameter vector and piggyback dict; completion (result or
+  failure) releases the client thread blocked in ``cactus_request()``;
+- the CQoS skeleton rebuilds one from the incoming platform request;
+  completion releases the middleware dispatch thread blocked in
+  ``cactus_invoke()`` so the reply can be returned.
+
+Replication support: per-replica outcomes accumulate as :class:`Reply`
+records for the acceptance micro-protocols; ``attributes`` is a free-form
+slot for micro-protocol request-local state (ordering marks, release flags).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.concurrency import CountDownLatch, DEFAULT_PRIORITY
+from repro.util.errors import ReproError, TimeoutError_
+from repro.util.ids import IdGenerator
+
+# Well-known piggyback keys.
+PB_REQUEST_ID = "cqos_request_id"
+PB_CLIENT_ID = "cqos_client"
+PB_PRIORITY = "cqos_priority"
+PB_ENCRYPTED = "cqos_encrypted"
+PB_SIGNATURE = "cqos_signature"
+PB_FORWARDED = "cqos_forwarded"
+
+
+@dataclass
+class Reply:
+    """The outcome of one invocation attempt on one server replica."""
+
+    server: int
+    value: Any = None
+    exception: BaseException | None = None
+    failed: bool = False  # True => communication-level failure
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the invocation reached the servant (even if it raised)."""
+        return not self.failed
+
+    @property
+    def is_application_error(self) -> bool:
+        return not self.failed and self.exception is not None
+
+
+class Request:
+    """One abstract invocation travelling through CQoS."""
+
+    _ids = IdGenerator("req")
+
+    def __init__(
+        self,
+        object_id: str,
+        operation: str,
+        params: list,
+        piggyback: dict | None = None,
+        request_id: str | None = None,
+    ):
+        self.request_id = request_id or Request._ids.next_id()
+        self.object_id = object_id
+        self.operation = operation
+        self._params = list(params)
+        self.piggyback: dict = dict(piggyback or {})
+        #: Free-form micro-protocol request-local state.
+        self.attributes: dict = {}
+        #: Replica assigned by the assigner handler (1-based), if any.
+        self.server: int | None = None
+
+        self._lock = threading.Lock()
+        #: Public mutex for micro-protocol critical sections on this request
+        #: (e.g. encrypt-exactly-once under ActiveRep's concurrent sends).
+        self.mutex = threading.RLock()
+        self._latch = CountDownLatch(1)
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._completed = False
+        self._replies: dict[int, Reply] = {}
+
+    # -- parameter vector accessors (the Cactus QoS interface surface) ------
+
+    def get_params(self) -> list:
+        """The parameter vector (live list; in-place mutation is allowed)."""
+        return self._params
+
+    def set_params(self, params: list) -> None:
+        self._params = list(params)
+
+    def get_param(self, index: int) -> Any:
+        return self._params[index]
+
+    def set_param(self, index: int, value: Any) -> None:
+        self._params[index] = value
+
+    @property
+    def priority(self) -> int:
+        """The request's scheduling priority (piggybacked; default 5)."""
+        return int(self.piggyback.get(PB_PRIORITY, DEFAULT_PRIORITY))
+
+    @priority.setter
+    def priority(self, value: int) -> None:
+        self.piggyback[PB_PRIORITY] = int(value)
+
+    @property
+    def client_id(self) -> str:
+        return str(self.piggyback.get(PB_CLIENT_ID, ""))
+
+    # -- completion ----------------------------------------------------------
+
+    def complete(self, value: Any) -> bool:
+        """Complete with a result; returns False if already completed."""
+        with self._lock:
+            if self._completed:
+                return False
+            self._result = value
+            self._completed = True
+        self._latch.count_down()
+        return True
+
+    def fail(self, exception: BaseException) -> bool:
+        """Complete with an exception; returns False if already completed."""
+        with self._lock:
+            if self._completed:
+                return False
+            self._exception = exception
+            self._completed = True
+        self._latch.count_down()
+        return True
+
+    def complete_from_reply(self, reply: Reply) -> bool:
+        """Complete with a replica outcome (value, app error, or failure)."""
+        if reply.failed:
+            return self.fail(
+                reply.exception
+                or ReproError(f"invocation on server {reply.server} failed")
+            )
+        if reply.exception is not None:
+            return self.fail(reply.exception)
+        return self.complete(reply.value)
+
+    @property
+    def completed(self) -> bool:
+        with self._lock:
+            return self._completed
+
+    def get_result(self) -> Any:
+        with self._lock:
+            return self._result
+
+    def set_result(self, value: Any) -> None:
+        """Overwrite the stored result (server-side reply manipulation).
+
+        Legal only before completion — the reply-encryption handler runs on
+        ``invokeReturn``, i.e. before the skeleton sends the reply.
+        """
+        with self._lock:
+            if self._completed:
+                raise ReproError("cannot set_result on a completed request")
+            self._result = value
+
+    @property
+    def stored_result(self) -> Any:
+        """The result staged so far (server side, pre-completion)."""
+        with self._lock:
+            return self._result
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until completion; return the result or raise the failure."""
+        if not self._latch.wait(timeout):
+            raise TimeoutError_(
+                f"request {self.request_id} ({self.operation}) did not complete"
+            )
+        with self._lock:
+            if self._exception is not None:
+                raise self._exception
+            return self._result
+
+    # -- per-replica outcomes -------------------------------------------------
+
+    def add_reply(self, reply: Reply) -> None:
+        with self._lock:
+            self._replies[reply.server] = reply
+
+    def replies(self) -> dict[int, Reply]:
+        with self._lock:
+            return dict(self._replies)
+
+    def reply_count(self) -> int:
+        with self._lock:
+            return len(self._replies)
+
+    # -- wire form (replica forwarding) -----------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "object_id": self.object_id,
+            "operation": self.operation,
+            "params": list(self._params),
+            "piggyback": dict(self.piggyback),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Request":
+        return cls(
+            object_id=wire["object_id"],
+            operation=wire["operation"],
+            params=list(wire["params"]),
+            piggyback=dict(wire["piggyback"]),
+            request_id=wire["request_id"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Request({self.request_id}, {self.object_id}.{self.operation}, "
+            f"server={self.server}, completed={self.completed})"
+        )

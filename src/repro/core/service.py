@@ -1,0 +1,449 @@
+"""Deployment façade: assemble complete CQoS systems in a few calls.
+
+:class:`CqosDeployment` owns one network, one middleware platform choice
+("corba" or "rmi"), its bootstrap service (naming service / RMI registry),
+and the hosts it creates.  Typical use::
+
+    network = InMemoryNetwork()
+    dep = CqosDeployment(network, platform="corba", compiled=compiled)
+    dep.add_replicas("acct", lambda: BankAccount(), iface, replicas=3,
+                     server_micro_protocols=lambda: [TotalOrder(), ServerBase()])
+    stub = dep.client_stub("acct", iface,
+                           client_micro_protocols=lambda: [ActiveRep(), MajorityVote(), ClientBase()])
+    stub.set_balance(100.0)
+
+Micro-protocol configurations are passed as zero-argument factories (each
+replica and each client needs fresh instances), as
+:class:`~repro.cactus.config.MicroProtocolSpec` lists, or as plain
+registered-name lists — the latter two go through the static-configuration
+machinery of :mod:`repro.cactus.config`.
+
+The Table 1 ladder is directly expressible: ``plain_stub`` /
+``deploy_plain_replica`` give the original-platform rung;
+``client_stub(..., with_cactus_client=False)`` and
+``add_replicas(..., server_micro_protocols=None)`` give the interceptor-only
+rungs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import MicroProtocolSpec, build_micro_protocols
+from repro.core.client import CactusClient
+from repro.core.request import Request
+from repro.core.server import CactusServer
+from repro.core.skeleton import CqosSkeleton
+from repro.core.stub import CqosStub, make_cqos_stub_class
+from repro.core.adapters.corba import (
+    CorbaClientPlatform,
+    corba_replica_name,
+    install_corba_replica,
+)
+from repro.core.adapters.rmi import (
+    RmiClientPlatform,
+    install_rmi_replica,
+    rmi_skeleton_name,
+)
+from repro.core.adapters.http import (
+    HttpClientPlatform,
+    http_replica_name,
+    install_http_replica,
+)
+from repro.http.client import HttpClient, make_http_stub_class
+from repro.http.registry import (
+    REGISTRY_HOST as HTTP_REGISTRY_HOST,
+    HttpRegistryClient,
+    start_http_registry,
+)
+from repro.http.server import HttpObjectServer
+from repro.idl.compiler import CompiledIdl, InterfaceDef
+from repro.net.transport import Network
+from repro.orb.naming import NAMING_HOST, naming_client, start_naming_service
+from repro.orb.orb import Orb
+from repro.orb.stubs import make_static_stub_class
+from repro.rmi.registry import REGISTRY_HOST, registry_client, start_registry
+from repro.rmi.runtime import RmiRuntime, make_rmi_stub_class
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdGenerator
+
+# A micro-protocol configuration, in any accepted form.
+MpConfig = (
+    Callable[[], list[MicroProtocol]]
+    | Sequence[MicroProtocolSpec]
+    | Sequence[str]
+    | None
+)
+
+
+def _instantiate(config: MpConfig) -> list[MicroProtocol] | None:
+    """Normalize a configuration into fresh micro-protocol instances."""
+    if config is None:
+        return None
+    if callable(config):
+        return list(config())
+    specs = [
+        spec if isinstance(spec, MicroProtocolSpec) else MicroProtocolSpec(str(spec))
+        for spec in config
+    ]
+    return build_micro_protocols(specs)
+
+
+class CqosDeployment:
+    """One network + one platform + the CQoS objects deployed on it."""
+
+    PLATFORMS = ("corba", "rmi", "http")
+
+    def __init__(
+        self,
+        network: Network,
+        platform: str,
+        compiled: CompiledIdl,
+        request_timeout: float | None = 30.0,
+    ):
+        if platform not in self.PLATFORMS:
+            raise ConfigurationError(
+                f"platform must be one of {self.PLATFORMS}, not {platform!r}"
+            )
+        self.network = network
+        self.platform = platform
+        self.compiled = compiled
+        self.request_timeout = request_timeout
+        self._ids = IdGenerator("dep")
+        self._lock = threading.Lock()
+        self._orbs: list[Orb] = []
+        self._runtimes: list[RmiRuntime] = []
+        self._http_servers: list[HttpObjectServer] = []
+        self._http_clients: list[HttpClient] = []
+        self._cactus: list[CactusServer | CactusClient] = []
+        self._replica_hosts: dict[tuple[str, int], str] = {}
+        self._bootstrap()
+
+    # -- bootstrap -------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        if self.platform == "corba":
+            self._naming_orb = self._new_orb(NAMING_HOST).start()
+            self.naming = start_naming_service(self._naming_orb)
+        elif self.platform == "rmi":
+            self._registry_runtime = self._new_rmi(REGISTRY_HOST).start()
+            self.registry = start_registry(self._registry_runtime)
+        else:
+            self._registry_http = self._new_http_server(HTTP_REGISTRY_HOST).start()
+            self.registry = start_http_registry(self._registry_http)
+
+    def _new_orb(self, host_name: str) -> Orb:
+        orb = Orb(self.network, host_name, self.compiled)
+        with self._lock:
+            self._orbs.append(orb)
+        return orb
+
+    def _new_rmi(self, host_name: str) -> RmiRuntime:
+        runtime = RmiRuntime(self.network, host_name, self.compiled)
+        with self._lock:
+            self._runtimes.append(runtime)
+        return runtime
+
+    def _new_http_server(self, host_name: str) -> HttpObjectServer:
+        server = HttpObjectServer(self.network, host_name, self.compiled)
+        with self._lock:
+            self._http_servers.append(server)
+        return server
+
+    def _new_http_client(self, host_name: str) -> HttpClient:
+        client = HttpClient(self.network, host_name)
+        with self._lock:
+            self._http_clients.append(client)
+        return client
+
+    def _http_registry_client(self, host_name: str) -> tuple[HttpClient, HttpRegistryClient]:
+        client = self._new_http_client(host_name)
+        return client, HttpRegistryClient(client)
+
+    def _track(self, composite: CactusServer | CactusClient) -> None:
+        with self._lock:
+            self._cactus.append(composite)
+
+    # -- server side ------------------------------------------------------
+
+    def replica_host_name(self, object_id: str, replica: int) -> str:
+        return f"{object_id}-server-{replica}"
+
+    def add_replicas(
+        self,
+        object_id: str,
+        servant_factory: Callable[[], Any],
+        interface: InterfaceDef,
+        replicas: int = 1,
+        server_micro_protocols: MpConfig = "with_base",
+        priority_policy: Callable[[Request], int] | None = None,
+    ) -> list[CqosSkeleton]:
+        """Deploy ``replicas`` CQoS-intercepted replicas of one object.
+
+        ``server_micro_protocols`` configures each replica's Cactus server:
+
+        - the string ``"with_base"`` (default) — ServerBase only;
+        - a factory / spec list / name list — those protocols *plus*
+          ServerBase appended last;
+        - ``None`` — no Cactus server at all (pass-through skeleton).
+        """
+        skeletons: list[CqosSkeleton] = []
+        for replica in range(1, replicas + 1):
+            host_name = self.replica_host_name(object_id, replica)
+            self._replica_hosts[(object_id, replica)] = host_name
+            factory = self._server_factory(
+                object_id, replica, server_micro_protocols, priority_policy
+            )
+            servant = servant_factory()
+            if self.platform == "corba":
+                orb = self._new_orb(host_name).start()
+                skeleton = install_corba_replica(
+                    orb,
+                    object_id,
+                    replica,
+                    servant,
+                    interface,
+                    cactus_server_factory=factory,
+                    total_replicas=replicas,
+                )
+            elif self.platform == "rmi":
+                runtime = self._new_rmi(host_name).start()
+                skeleton = install_rmi_replica(
+                    runtime,
+                    object_id,
+                    replica,
+                    servant,
+                    interface,
+                    cactus_server_factory=factory,
+                    total_replicas=replicas,
+                )
+            else:
+                http_server = self._new_http_server(host_name).start()
+                http_client, registry = self._http_registry_client(host_name)
+                skeleton = install_http_replica(
+                    http_server,
+                    http_client,
+                    registry,
+                    object_id,
+                    replica,
+                    servant,
+                    interface,
+                    cactus_server_factory=factory,
+                    total_replicas=replicas,
+                )
+            skeletons.append(skeleton)
+        return skeletons
+
+    def _server_factory(
+        self,
+        object_id: str,
+        replica: int,
+        config: MpConfig | str,
+        priority_policy: Callable[[Request], int] | None,
+    ):
+        if config is None:
+            return None
+
+        def factory(platform) -> CactusServer:
+            if config == "with_base":
+                server = CactusServer.with_base(
+                    platform,
+                    name=f"cactus-server-{object_id}-{replica}",
+                    request_timeout=self.request_timeout,
+                    priority_policy=priority_policy,
+                )
+            else:
+                extra = _instantiate(config) or []
+                server = CactusServer.with_base(
+                    platform,
+                    extra,
+                    name=f"cactus-server-{object_id}-{replica}",
+                    request_timeout=self.request_timeout,
+                    priority_policy=priority_policy,
+                )
+            self._track(server)
+            return server
+
+        return factory
+
+    def deploy_plain_replica(
+        self,
+        object_id: str,
+        servant: Any,
+        interface: InterfaceDef,
+        replica: int = 1,
+    ) -> None:
+        """Deploy an *un-intercepted* servant under the replica name.
+
+        Table 1 rungs "Original" and "+CQoS stub" target this: the original
+        platform-generated skeleton serves the object, but the reference is
+        published under the CQoS replica naming convention so CQoS stubs
+        can still find it.
+        """
+        host_name = self.replica_host_name(object_id, replica)
+        self._replica_hosts[(object_id, replica)] = host_name
+        if self.platform == "corba":
+            orb = self._new_orb(host_name).start()
+            poa = orb.create_poa(f"{object_id}_plain_poa_{replica}")
+            ior = poa.activate_object(object_id, servant, interface=interface)
+            naming_client(orb).rebind(
+                corba_replica_name(object_id, replica), orb.object_to_string(ior)
+            )
+        elif self.platform == "rmi":
+            runtime = self._new_rmi(host_name).start()
+            ref = runtime.export(servant, interface, object_id=object_id)
+            registry_client(runtime).rebind(rmi_skeleton_name(object_id, replica), ref)
+        else:
+            http_server = self._new_http_server(host_name).start()
+            http_server.mount(object_id, servant, interface)
+            _, registry = self._http_registry_client(host_name)
+            registry.rebind(
+                http_replica_name(object_id, replica),
+                http_server.endpoint_address,
+                object_id,
+            )
+
+    # -- client side --------------------------------------------------------
+
+    def client_stub(
+        self,
+        object_id: str,
+        interface: InterfaceDef,
+        client_micro_protocols: MpConfig | str = "with_base",
+        with_cactus_client: bool = True,
+        client_id: str | None = None,
+        priority: int | None = None,
+        host_name: str | None = None,
+        runtime_workers: int | None = None,
+    ) -> CqosStub:
+        """Create a CQoS stub for ``object_id`` on a fresh client host.
+
+        ``client_micro_protocols`` mirrors ``add_replicas``:
+        ``"with_base"`` → ClientBase only; a config → those plus ClientBase;
+        it is ignored when ``with_cactus_client=False`` (pass-through stub,
+        Table 1's "+CQoS stub" rung).
+        """
+        host = host_name or f"client-{self._ids.next_int()}"
+        if self.platform == "corba":
+            orb = self._new_orb(host)
+            platform = CorbaClientPlatform(orb, object_id)
+        elif self.platform == "rmi":
+            runtime = self._new_rmi(host)
+            platform = RmiClientPlatform(runtime, object_id)
+        else:
+            http_client, registry = self._http_registry_client(host)
+            platform = HttpClientPlatform(http_client, registry, object_id)
+        cactus_client: CactusClient | None = None
+        if with_cactus_client:
+            # Replication against gated replicas parks invocation legs on
+            # pool workers until each replica answers; callers that mix
+            # replication with server-side queuing size the pool up.
+            runtime = None
+            if runtime_workers is not None:
+                from repro.cactus.runtime import CactusRuntime
+
+                runtime = CactusRuntime(
+                    workers=runtime_workers, name=f"cactus-client-{host}-rt"
+                )
+            if client_micro_protocols == "with_base":
+                cactus_client = CactusClient.with_base(
+                    platform,
+                    name=f"cactus-client-{host}",
+                    request_timeout=self.request_timeout,
+                    runtime=runtime,
+                )
+            else:
+                extra = _instantiate(client_micro_protocols) or []
+                cactus_client = CactusClient.with_base(
+                    platform,
+                    extra,
+                    name=f"cactus-client-{host}",
+                    request_timeout=self.request_timeout,
+                    runtime=runtime,
+                )
+            self._track(cactus_client)
+        stub_class = make_cqos_stub_class(interface)
+        return stub_class(
+            platform,
+            object_id,
+            cactus_client=cactus_client,
+            client_id=client_id,
+            priority=priority,
+        )
+
+    def plain_stub(
+        self,
+        object_id: str,
+        interface: InterfaceDef,
+        replica: int = 1,
+        host_name: str | None = None,
+    ):
+        """Create the *original* platform stub (baseline, no CQoS).
+
+        Targets a replica deployed with :meth:`deploy_plain_replica`.
+        """
+        host = host_name or f"client-{self._ids.next_int()}"
+        if self.platform == "corba":
+            orb = self._new_orb(host)
+            ior_text = naming_client(orb).resolve(corba_replica_name(object_id, replica))
+            ref = orb.string_to_object(ior_text)
+            stub_class = make_static_stub_class(interface)
+            return stub_class(orb, ref.ior)
+        if self.platform == "rmi":
+            runtime = self._new_rmi(host)
+            ref = registry_client(runtime).lookup(rmi_skeleton_name(object_id, replica))
+            stub_class = make_rmi_stub_class(interface)
+            return stub_class(runtime, ref)
+        http_client, registry = self._http_registry_client(host)
+        address, oid = registry.lookup(http_replica_name(object_id, replica))
+        stub_class = make_http_stub_class(interface)
+        return stub_class(http_client, address, oid)
+
+    # -- fault injection convenience -------------------------------------------
+
+    def crash_replica(self, object_id: str, replica: int) -> None:
+        host = self._replica_hosts.get((object_id, replica))
+        if host is None:
+            raise ConfigurationError(f"unknown replica {replica} of {object_id!r}")
+        self.network.crash(host)
+
+    def recover_replica(self, object_id: str, replica: int) -> None:
+        host = self._replica_hosts.get((object_id, replica))
+        if host is None:
+            raise ConfigurationError(f"unknown replica {replica} of {object_id!r}")
+        self.network.recover(host)
+
+    # -- teardown ------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            composites = list(self._cactus)
+            orbs = list(self._orbs)
+            runtimes = list(self._runtimes)
+            http_servers = list(self._http_servers)
+            http_clients = list(self._http_clients)
+            self._cactus.clear()
+            self._orbs.clear()
+            self._runtimes.clear()
+            self._http_servers.clear()
+            self._http_clients.clear()
+        for composite in composites:
+            composite.shutdown()
+            composite.runtime.shutdown()
+        for orb in orbs:
+            orb.shutdown()
+        for runtime in runtimes:
+            runtime.shutdown()
+        for server in http_servers:
+            server.shutdown()
+        for client in http_clients:
+            client.close()
+        self.network.close()
+
+    def __enter__(self) -> "CqosDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,82 @@
+"""The CQoS skeleton: the server-side interceptor (platform-independent core).
+
+"Server side interception is based on using the CQoS skeleton as a proxy
+server for the actual server object.  This skeleton overwrites the server
+object binding with the underlying middleware layer, and thus the incoming
+requests are automatically forwarded to the CQoS skeleton, which also
+creates an abstract request object and notifies the Cactus server."
+
+This class is the platform-independent half; the CORBA adapter wraps it in
+a DSI :class:`~repro.orb.dsi.DynamicImplementation` and the RMI adapter in
+a generic-invoke remote object.  Both feed :meth:`handle_invocation`.
+
+Besides application operations, the skeleton serves the replica **control
+plane**: requests whose operation is :data:`CONTROL_OPERATION` carry
+``[kind, sender_replica, payload]`` and are routed to the Cactus server's
+``control:<kind>`` event (``ping`` is answered directly, enabling
+``server_status()`` probes even for pass-through skeletons).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.interfaces import ServerPlatform
+from repro.core.request import PB_REQUEST_ID, Request
+from repro.core.server import CactusServer
+
+CONTROL_OPERATION = "__cqos__"
+CONTROL_PING = "ping"
+
+
+class CqosSkeleton:
+    """Platform-independent proxy-servant logic for one object replica."""
+
+    def __init__(
+        self,
+        object_id: str,
+        platform: ServerPlatform,
+        cactus_server: CactusServer | None = None,
+    ):
+        self.object_id = object_id
+        self._platform = platform
+        self._cactus_server = cactus_server
+
+    @property
+    def cactus_server(self) -> CactusServer | None:
+        return self._cactus_server
+
+    def handle_invocation(self, operation: str, arguments: list, context: dict) -> Any:
+        """Process one intercepted platform request; return the reply value.
+
+        Application and system exceptions propagate to the platform wrapper,
+        which marshals them into the platform's reply format.
+        """
+        if operation == CONTROL_OPERATION:
+            kind, sender, payload = arguments
+            return self._handle_control(str(kind), int(sender), dict(payload))
+        context = dict(context)
+        request = Request(
+            object_id=self.object_id,
+            operation=operation,
+            params=list(arguments),
+            piggyback=context,
+            # Preserve the client-side identity so replicas agree on it.
+            request_id=context.get(PB_REQUEST_ID),
+        )
+        if self._cactus_server is not None:
+            return self._cactus_server.cactus_invoke(request)
+        # Pass-through (Table 1's "+CQoS skeleton" rung): the abstract
+        # request is built and the servant invoked natively, no Cactus.
+        return self._platform.invoke_servant(request)
+
+    def _handle_control(self, kind: str, sender: int, payload: dict) -> Any:
+        if kind == CONTROL_PING:
+            return True
+        if self._cactus_server is None:
+            from repro.util.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"control message {kind!r} received but no Cactus server is attached"
+            )
+        return self._cactus_server.handle_control(kind, payload, sender)

@@ -1,0 +1,26 @@
+"""Cryptographic substrate for the security micro-protocols.
+
+The paper's ``DesPrivacy`` micro-protocol encrypts request parameters and
+reply values with DES; integrity uses a signature-based scheme.  Neither
+algorithm is available here as a dependency, so:
+
+- :mod:`repro.crypto.des` is a from-scratch pure-Python DES (ECB and CBC
+  modes, PKCS#5 padding) validated against published test vectors, and
+- :mod:`repro.crypto.mac` implements the HMAC construction (RFC 2104) over
+  :mod:`hashlib` digests for the signature scheme.
+- :mod:`repro.crypto.keys` is a tiny shared-key store standing in for the
+  out-of-band key distribution the paper assumes.
+"""
+
+from repro.crypto.des import DesCipher, des_decrypt, des_encrypt
+from repro.crypto.mac import hmac_digest, hmac_verify
+from repro.crypto.keys import KeyStore
+
+__all__ = [
+    "DesCipher",
+    "des_encrypt",
+    "des_decrypt",
+    "hmac_digest",
+    "hmac_verify",
+    "KeyStore",
+]

@@ -1,0 +1,349 @@
+"""Pure-Python DES (FIPS 46-3) with ECB/CBC modes and PKCS#5 padding.
+
+The paper's ``DesPrivacy`` micro-protocol encrypts request parameters and
+reply values with DES.  This is a from-scratch implementation of the exact
+algorithm so the Table 2 "Privacy" rows exercise a genuinely CPU-bound
+cipher, preserving the paper's cost shape (crypto dominates the response
+time on both platforms).
+
+Implementation notes:
+
+- all permutations (IP, FP, E, P, PC-1, PC-2) are applied through
+  precomputed byte-indexed lookup tables, the standard software
+  optimization, so encrypting kilobyte payloads in the benchmarks is
+  tolerable while remaining readable;
+- the S-box and P permutations are fused into ``_SP`` tables at import time;
+- correctness is pinned by published test vectors in
+  ``tests/unit/test_des.py`` and round-trip property tests.
+
+DES is used here because the paper uses it; it is *not* a recommendation —
+single DES has been breakable by exhaustive key search since the 1990s.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.util.errors import MarshalError
+
+# --- Standard DES tables (FIPS 46-3), 1-based bit positions from the MSB ---
+
+_IP = [
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+]
+
+_FP = [
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41, 9, 49, 17, 57, 25,
+]
+
+_E = [
+    32, 1, 2, 3, 4, 5,
+    4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32, 1,
+]
+
+_P = [
+    16, 7, 20, 21,
+    29, 12, 28, 17,
+    1, 15, 23, 26,
+    5, 18, 31, 10,
+    2, 8, 24, 14,
+    32, 27, 3, 9,
+    19, 13, 30, 6,
+    22, 11, 4, 25,
+]
+
+_PC1 = [
+    57, 49, 41, 33, 25, 17, 9,
+    1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27,
+    19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+    7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+]
+
+_PC2 = [
+    14, 17, 11, 24, 1, 5,
+    3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8,
+    16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+]
+
+_SHIFTS = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1]
+
+_SBOXES = [
+    [
+        [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+        [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+        [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+        [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+    ],
+    [
+        [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+        [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+        [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+        [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+    ],
+    [
+        [10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8],
+        [13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1],
+        [13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7],
+        [1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12],
+    ],
+    [
+        [7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15],
+        [13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9],
+        [10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4],
+        [3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14],
+    ],
+    [
+        [2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9],
+        [14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6],
+        [4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14],
+        [11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3],
+    ],
+    [
+        [12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11],
+        [10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8],
+        [9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6],
+        [4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13],
+    ],
+    [
+        [4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1],
+        [13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6],
+        [1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2],
+        [6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12],
+    ],
+    [
+        [13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7],
+        [1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2],
+        [7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8],
+        [2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11],
+    ],
+]
+
+
+class _BytewisePermutation:
+    """A bit permutation applied via per-input-byte lookup tables.
+
+    ``spec[i]`` is the 1-based (from the MSB) input bit that becomes output
+    bit ``i``.  ``in_width`` must be a multiple of 8.
+    """
+
+    def __init__(self, spec: list[int], in_width: int):
+        if in_width % 8:
+            raise ValueError("in_width must be a multiple of 8")
+        self._n_bytes = in_width // 8
+        out_width = len(spec)
+        luts = [[0] * 256 for _ in range(self._n_bytes)]
+        for out_pos, in_pos in enumerate(spec):
+            in_idx = in_pos - 1
+            byte_idx, bit_idx = divmod(in_idx, 8)
+            bit_in_byte = 7 - bit_idx
+            out_shift = out_width - 1 - out_pos
+            lut = luts[byte_idx]
+            for byte_val in range(256):
+                if (byte_val >> bit_in_byte) & 1:
+                    lut[byte_val] |= 1 << out_shift
+        self._luts = luts
+
+    def apply(self, value: int) -> int:
+        result = 0
+        n = self._n_bytes
+        for i, lut in enumerate(self._luts):
+            result |= lut[(value >> ((n - 1 - i) * 8)) & 0xFF]
+        return result
+
+
+_IP_PERM = _BytewisePermutation(_IP, 64)
+_FP_PERM = _BytewisePermutation(_FP, 64)
+_E_PERM = _BytewisePermutation(_E, 32)
+_PC1_PERM = _BytewisePermutation(_PC1, 64)
+_PC2_PERM = _BytewisePermutation(_PC2, 56)
+
+
+def _build_sp_tables() -> list[list[int]]:
+    """Fuse each S-box with the P permutation: SP[i][six_bits] -> 32 bits."""
+    p_perm = _BytewisePermutation(_P, 32)
+    tables = []
+    for box_index, box in enumerate(_SBOXES):
+        shift = 28 - 4 * box_index
+        table = []
+        for six in range(64):
+            row = ((six & 0x20) >> 4) | (six & 0x01)
+            col = (six >> 1) & 0x0F
+            table.append(p_perm.apply(box[row][col] << shift))
+        tables.append(table)
+    return tables
+
+
+_SP = _build_sp_tables()
+
+_BLOCK = 8
+
+
+def _rotl28(value: int, n: int) -> int:
+    return ((value << n) | (value >> (28 - n))) & 0x0FFFFFFF
+
+
+def _key_schedule(key: bytes) -> list[int]:
+    """Derive the 16 48-bit round subkeys from an 8-byte key."""
+    key_int = int.from_bytes(key, "big")
+    cd = _PC1_PERM.apply(key_int)
+    c = (cd >> 28) & 0x0FFFFFFF
+    d = cd & 0x0FFFFFFF
+    subkeys = []
+    for shift in _SHIFTS:
+        c = _rotl28(c, shift)
+        d = _rotl28(d, shift)
+        subkeys.append(_PC2_PERM.apply((c << 28) | d))
+    return subkeys
+
+
+def _feistel(right: int, subkey: int) -> int:
+    x = _E_PERM.apply(right) ^ subkey
+    sp = _SP
+    return (
+        sp[0][(x >> 42) & 0x3F]
+        | sp[1][(x >> 36) & 0x3F]
+        | sp[2][(x >> 30) & 0x3F]
+        | sp[3][(x >> 24) & 0x3F]
+        | sp[4][(x >> 18) & 0x3F]
+        | sp[5][(x >> 12) & 0x3F]
+        | sp[6][(x >> 6) & 0x3F]
+        | sp[7][x & 0x3F]
+    )
+
+
+def _crypt_block(block: int, subkeys: list[int]) -> int:
+    x = _IP_PERM.apply(block)
+    left = (x >> 32) & 0xFFFFFFFF
+    right = x & 0xFFFFFFFF
+    for subkey in subkeys:
+        left, right = right, left ^ _feistel(right, subkey)
+    # Final swap (R16 || L16) then the inverse permutation.
+    return _FP_PERM.apply((right << 32) | left)
+
+
+def _pkcs5_pad(data: bytes) -> bytes:
+    pad = _BLOCK - (len(data) % _BLOCK)
+    return data + bytes([pad]) * pad
+
+
+def _pkcs5_unpad(data: bytes) -> bytes:
+    if not data or len(data) % _BLOCK:
+        raise MarshalError("invalid DES ciphertext length")
+    pad = data[-1]
+    if not 1 <= pad <= _BLOCK or data[-pad:] != bytes([pad]) * pad:
+        raise MarshalError("invalid PKCS#5 padding")
+    return data[:-pad]
+
+
+class DesCipher:
+    """A DES cipher bound to one key, supporting ECB and CBC modes.
+
+    >>> cipher = DesCipher(bytes.fromhex("133457799BBCDFF1"))
+    >>> cipher.decrypt(cipher.encrypt(b"attack at dawn"))
+    b'attack at dawn'
+    """
+
+    def __init__(self, key: bytes, mode: str = "CBC"):
+        if len(key) != _BLOCK:
+            raise ValueError("DES key must be exactly 8 bytes")
+        if mode not in ("ECB", "CBC"):
+            raise ValueError(f"unsupported mode: {mode}")
+        self.mode = mode
+        self._enc_keys = _key_schedule(key)
+        self._dec_keys = list(reversed(self._enc_keys))
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 8-byte block (no padding, no chaining)."""
+        if len(block) != _BLOCK:
+            raise ValueError("block must be 8 bytes")
+        value = int.from_bytes(block, "big")
+        return _crypt_block(value, self._enc_keys).to_bytes(_BLOCK, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 8-byte block (no padding, no chaining)."""
+        if len(block) != _BLOCK:
+            raise ValueError("block must be 8 bytes")
+        value = int.from_bytes(block, "big")
+        return _crypt_block(value, self._dec_keys).to_bytes(_BLOCK, "big")
+
+    def encrypt(self, data: bytes, iv: bytes | None = None) -> bytes:
+        """Encrypt ``data`` with PKCS#5 padding.
+
+        In CBC mode a random IV is generated when not supplied and prepended
+        to the ciphertext, so :meth:`decrypt` needs no extra state.
+        """
+        padded = _pkcs5_pad(data)
+        out = bytearray()
+        if self.mode == "ECB":
+            for i in range(0, len(padded), _BLOCK):
+                out += self.encrypt_block(padded[i : i + _BLOCK])
+            return bytes(out)
+        if iv is None:
+            iv = os.urandom(_BLOCK)
+        elif len(iv) != _BLOCK:
+            raise ValueError("IV must be 8 bytes")
+        out += iv
+        prev = int.from_bytes(iv, "big")
+        for i in range(0, len(padded), _BLOCK):
+            block = int.from_bytes(padded[i : i + _BLOCK], "big") ^ prev
+            prev = _crypt_block(block, self._enc_keys)
+            out += prev.to_bytes(_BLOCK, "big")
+        return bytes(out)
+
+    def decrypt(self, data: bytes) -> bytes:
+        """Invert :meth:`encrypt`, validating and stripping the padding."""
+        if self.mode == "ECB":
+            if not data or len(data) % _BLOCK:
+                raise MarshalError("invalid DES ciphertext length")
+            out = bytearray()
+            for i in range(0, len(data), _BLOCK):
+                out += self.decrypt_block(data[i : i + _BLOCK])
+            return _pkcs5_unpad(bytes(out))
+        if len(data) < 2 * _BLOCK or len(data) % _BLOCK:
+            raise MarshalError("invalid DES ciphertext length")
+        prev = int.from_bytes(data[:_BLOCK], "big")
+        out = bytearray()
+        for i in range(_BLOCK, len(data), _BLOCK):
+            block = int.from_bytes(data[i : i + _BLOCK], "big")
+            out += (_crypt_block(block, self._dec_keys) ^ prev).to_bytes(_BLOCK, "big")
+            prev = block
+        return _pkcs5_unpad(bytes(out))
+
+
+def des_encrypt(key: bytes, data: bytes, mode: str = "CBC") -> bytes:
+    """One-shot DES encryption (PKCS#5 padded; CBC prepends its IV)."""
+    return DesCipher(key, mode).encrypt(data)
+
+
+def des_decrypt(key: bytes, data: bytes, mode: str = "CBC") -> bytes:
+    """One-shot DES decryption matching :func:`des_encrypt`."""
+    return DesCipher(key, mode).decrypt(data)

@@ -1,0 +1,43 @@
+"""HMAC construction (RFC 2104) for the signature-based integrity scheme.
+
+The paper's integrity micro-protocol signs the request parameters and reply
+value.  With only symmetric keys in the prototype, a keyed MAC is the
+signature scheme: we implement the HMAC construction explicitly over a
+:mod:`hashlib` digest (the hash primitive is the only borrowed piece; the
+construction itself, including key normalization and the ipad/opad scheme,
+is spelled out here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _stdlib_hmac  # only for compare_digest semantics
+from typing import Callable
+
+_IPAD = 0x36
+_OPAD = 0x5C
+
+
+def hmac_digest(key: bytes, message: bytes, hash_name: str = "sha256") -> bytes:
+    """Compute HMAC(key, message) with the named hashlib digest.
+
+    Implements RFC 2104 directly:
+    ``H((K' ^ opad) || H((K' ^ ipad) || message))`` where ``K'`` is the key
+    padded (or first hashed, if longer than the block size) to the digest's
+    block length.
+    """
+    make_hash: Callable[..., "hashlib._Hash"] = getattr(hashlib, hash_name)
+    block_size = make_hash().block_size
+    if len(key) > block_size:
+        key = make_hash(key).digest()
+    key = key.ljust(block_size, b"\x00")
+    inner = make_hash(bytes(b ^ _IPAD for b in key) + message).digest()
+    return make_hash(bytes(b ^ _OPAD for b in key) + inner).digest()
+
+
+def hmac_verify(
+    key: bytes, message: bytes, signature: bytes, hash_name: str = "sha256"
+) -> bool:
+    """Constant-time verification of a signature from :func:`hmac_digest`."""
+    expected = hmac_digest(key, message, hash_name)
+    return _stdlib_hmac.compare_digest(expected, signature)

@@ -1,0 +1,119 @@
+"""HTTP client for object invocations."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.http.message import (
+    HttpRequest,
+    format_request,
+    parse_response,
+    piggyback_headers,
+)
+from repro.net.transport import Connection, Network
+from repro.serialization.jser import jser_dumps, jser_loads
+from repro.util.errors import CommunicationError, InvocationError
+
+
+class HttpClient:
+    """Invoke operations on objects served by :class:`HttpObjectServer`.
+
+    Connections are cached per endpoint address and re-opened on failure.
+    """
+
+    def __init__(self, network: Network, host_name: str):
+        self._network = network
+        self.host_name = host_name
+        self._host = network.host(host_name)
+        self._connections: dict[str, Connection] = {}
+        self._lock = threading.Lock()
+
+    def _connection(self, address: str) -> Connection:
+        with self._lock:
+            connection = self._connections.get(address)
+            if connection is None:
+                connection = self._host.connect(address)
+                self._connections[address] = connection
+            return connection
+
+    def drop_connection(self, address: str) -> None:
+        with self._lock:
+            connection = self._connections.pop(address, None)
+        if connection is not None:
+            connection.close()
+
+    def post(
+        self,
+        address: str,
+        object_id: str,
+        operation: str,
+        arguments: list,
+        piggyback: dict | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """``POST /objects/<id>/<operation>``; return the decoded reply.
+
+        Application exceptions (400 + marshalled exception) re-raise as the
+        original exception instance; other failures raise
+        :class:`InvocationError`.
+        """
+        request = HttpRequest(
+            method="POST",
+            path=f"/objects/{object_id}/{operation}",
+            headers=piggyback_headers(piggyback or {}),
+            body=jser_dumps(arguments),
+        )
+        connection = self._connection(address)
+        try:
+            frame = connection.call(format_request(request), timeout=timeout)
+        except CommunicationError:
+            self.drop_connection(address)
+            raise
+        response = parse_response(frame)
+        if response.status == 200:
+            return jser_loads(response.body) if response.body else None
+        body = jser_loads(response.body) if response.body else None
+        if isinstance(body, BaseException):
+            raise body
+        if isinstance(body, dict):
+            raise InvocationError(body.get("type", "HttpError"), body.get("message", ""))
+        raise InvocationError("HttpError", f"status {response.status}")
+
+    def close(self) -> None:
+        with self._lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+
+
+class HttpStub:
+    """Base class for generated plain HTTP stubs (no CQoS)."""
+
+    def __init__(self, client: HttpClient, address: str, object_id: str):
+        self._client = client
+        self._address = address
+        self._object_id = object_id
+
+
+def _make_method(name: str, arity: int):
+    def method(self, *args):
+        if len(args) != arity:
+            raise TypeError(f"{name}() takes {arity} arguments, got {len(args)}")
+        return self._client.post(self._address, self._object_id, name, list(args))
+
+    method.__name__ = name
+    method.__doc__ = f"HTTP-mapped operation {name!r}."
+    return method
+
+
+def make_http_stub_class(interface) -> type:
+    """Generate a typed HTTP stub class for an IDL interface."""
+    namespace = {
+        "__doc__": f"HTTP stub for interface {interface.name}.",
+        "__idl_interface__": interface,
+    }
+    for operation in interface.operations.values():
+        namespace[operation.name] = _make_method(operation.name, len(operation.params))
+    return type(f"{interface.simple_name}HttpStub", (HttpStub,), namespace)

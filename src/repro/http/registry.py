@@ -1,0 +1,95 @@
+"""Path registry for the HTTP platform (reverse-proxy-configuration analog).
+
+Maps names to ``(endpoint_address, object_id)`` pairs, itself served as a
+generic object at a well-known location (host ``"http-registry"``, object
+``"registry"``), so the same HTTP machinery bootstraps discovery — as the
+naming service does for the ORB and the registry for RMI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.http.client import HttpClient
+from repro.http.server import HttpObjectServer, SERVICE
+from repro.util.errors import BindError
+
+REGISTRY_HOST = "http-registry"
+REGISTRY_OBJECT_ID = "registry"
+
+
+class HttpRegistry:
+    """The registry servant (generic invoke)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._table: dict[str, tuple[str, str]] = {}  # name -> (address, object_id)
+
+    def invoke(self, method: str, arguments: list, context: dict) -> Any:
+        handler = getattr(self, f"do_{method}", None)
+        if handler is None:
+            raise BindError(f"http registry has no operation {method!r}")
+        return handler(*arguments)
+
+    def do_bind(self, name: str, address: str, object_id: str) -> None:
+        with self._lock:
+            if name in self._table:
+                raise BindError(f"name already bound: {name!r}")
+            self._table[name] = (address, object_id)
+
+    def do_rebind(self, name: str, address: str, object_id: str) -> None:
+        with self._lock:
+            self._table[name] = (address, object_id)
+
+    def do_lookup(self, name: str) -> list:
+        with self._lock:
+            entry = self._table.get(name)
+        if entry is None:
+            raise BindError(f"name not bound: {name!r}")
+        return list(entry)
+
+    def do_unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._table:
+                raise BindError(f"name not bound: {name!r}")
+            del self._table[name]
+
+    def do_list(self, prefix: str) -> list[str]:
+        with self._lock:
+            return sorted(name for name in self._table if name.startswith(prefix))
+
+
+def start_http_registry(server: HttpObjectServer) -> HttpRegistry:
+    """Mount a registry on ``server`` (which should live on REGISTRY_HOST)."""
+    registry = HttpRegistry()
+    server.mount_generic(REGISTRY_OBJECT_ID, registry)
+    return registry
+
+
+class HttpRegistryClient:
+    """Client wrapper over the registry's generic interface."""
+
+    def __init__(
+        self,
+        client: HttpClient,
+        registry_host: str = REGISTRY_HOST,
+    ):
+        self._client = client
+        self._address = f"{registry_host}/{SERVICE}"
+
+    def bind(self, name: str, address: str, object_id: str) -> None:
+        self._client.post(self._address, REGISTRY_OBJECT_ID, "bind", [name, address, object_id])
+
+    def rebind(self, name: str, address: str, object_id: str) -> None:
+        self._client.post(self._address, REGISTRY_OBJECT_ID, "rebind", [name, address, object_id])
+
+    def lookup(self, name: str) -> tuple[str, str]:
+        address, object_id = self._client.post(self._address, REGISTRY_OBJECT_ID, "lookup", [name])
+        return address, object_id
+
+    def unbind(self, name: str) -> None:
+        self._client.post(self._address, REGISTRY_OBJECT_ID, "unbind", [name])
+
+    def list(self, prefix: str = "") -> list[str]:
+        return list(self._client.post(self._address, REGISTRY_OBJECT_ID, "list", [prefix]))

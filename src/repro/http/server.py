@@ -1,0 +1,134 @@
+"""HTTP object server: servants behind paths.
+
+Objects mount at ``/objects/<object-id>``; an operation invocation is
+``POST /objects/<object-id>/<operation>`` with a jser-encoded argument list
+as the body.  Replies: 200 with a jser body for normal returns, 400-series
+with a jser-encoded exception value for application exceptions (so IDL
+exceptions round-trip), 500 with a ``{type, message}`` body otherwise.
+
+Two servant flavours mirror the other platforms:
+
+- typed (interface metadata drives dispatch and result checking);
+- generic (anything with ``invoke(method, arguments, context)`` — the CQoS
+  skeleton path).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.http.message import (
+    HttpRequest,
+    HttpResponse,
+    format_response,
+    parse_request,
+    piggyback_headers,
+)
+from repro.idl.compiler import CompiledIdl, IdlRemoteException, InterfaceDef
+from repro.net.transport import Network
+from repro.orb.stubs import StaticSkeleton
+from repro.serialization.jser import jser_dumps
+from repro.util.errors import BindError
+
+SERVICE = "http"
+
+
+class _Mount:
+    def __init__(self, servant, skeleton: StaticSkeleton | None):
+        self.servant = servant
+        self.skeleton = skeleton  # None => generic servant
+
+    @property
+    def is_generic(self) -> bool:
+        return self.skeleton is None
+
+
+class HttpObjectServer:
+    """One HTTP endpoint serving many mounted objects."""
+
+    def __init__(self, network: Network, host_name: str, compiled: CompiledIdl):
+        self._network = network
+        self.host_name = host_name
+        self.compiled = compiled
+        self._host = network.host(host_name)
+        self._listener = None
+        self._mounts: dict[str, _Mount] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def endpoint_address(self) -> str:
+        return f"{self.host_name}/{SERVICE}"
+
+    def start(self) -> "HttpObjectServer":
+        if self._listener is None:
+            self._listener = self._host.listen(SERVICE, self._handle_frame)
+        return self
+
+    def shutdown(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        with self._lock:
+            self._mounts.clear()
+
+    # -- mounting -----------------------------------------------------------
+
+    def mount(self, object_id: str, servant: Any, interface: InterfaceDef) -> str:
+        """Mount a typed servant; returns its URL path."""
+        skeleton = StaticSkeleton(servant, interface, self.compiled)
+        return self._mount(object_id, _Mount(servant, skeleton))
+
+    def mount_generic(self, object_id: str, servant: Any) -> str:
+        """Mount a generic servant (``invoke(method, arguments, context)``)."""
+        if not callable(getattr(servant, "invoke", None)):
+            raise BindError("generic mounts must provide invoke(method, arguments, context)")
+        return self._mount(object_id, _Mount(servant, None))
+
+    def _mount(self, object_id: str, mount: _Mount) -> str:
+        with self._lock:
+            if object_id in self._mounts:
+                raise BindError(f"object id {object_id!r} already mounted")
+            self._mounts[object_id] = mount
+        return f"/objects/{object_id}"
+
+    def unmount(self, object_id: str) -> None:
+        with self._lock:
+            self._mounts.pop(object_id, None)
+
+    # -- serving -------------------------------------------------------------
+
+    def _handle_frame(self, frame: bytes) -> bytes:
+        try:
+            request = parse_request(frame)
+            response = self._dispatch(request)
+        except IdlRemoteException as exc:
+            response = HttpResponse(status=400, body=jser_dumps(exc))
+            response.headers["x-cqos-kind"] = "application-exception"
+        except BaseException as exc:  # noqa: BLE001 - mapped to 500
+            response = HttpResponse(
+                status=500,
+                body=jser_dumps({"type": type(exc).__name__, "message": str(exc)}),
+            )
+        return format_response(response)
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        from repro.serialization.jser import jser_loads
+
+        if request.method != "POST":
+            return HttpResponse(status=400, body=jser_dumps({"type": "BadMethod", "message": request.method}))
+        parts = request.path.strip("/").split("/")
+        if len(parts) != 3 or parts[0] != "objects":
+            return HttpResponse(status=404, body=jser_dumps({"type": "NotFound", "message": request.path}))
+        _, object_id, operation = parts
+        with self._lock:
+            mount = self._mounts.get(object_id)
+        if mount is None:
+            return HttpResponse(status=404, body=jser_dumps({"type": "NotFound", "message": object_id}))
+        arguments = list(jser_loads(request.body)) if request.body else []
+        context = request.piggyback()
+        if mount.is_generic:
+            value = mount.servant.invoke(operation, arguments, context)
+        else:
+            value = mount.skeleton.dispatch(operation, arguments)
+        return HttpResponse(status=200, body=jser_dumps(value))

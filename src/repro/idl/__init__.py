@@ -1,0 +1,66 @@
+"""The Cactus IDL compiler.
+
+The paper generates CQoS stubs and skeletons automatically from the server's
+IDL description.  This package provides that pipeline for a CORBA-flavoured
+IDL subset:
+
+- :mod:`repro.idl.lexer` / :mod:`repro.idl.parser` — tokenize and parse IDL
+  source (`module`, `interface`, `struct`, `exception`, `attribute`,
+  operations with `in` parameters, `raises`, `oneway`, `sequence<T>`);
+- :mod:`repro.idl.ast` — the syntax tree and the IDL type model;
+- :mod:`repro.idl.compiler` — semantic analysis producing runtime
+  :class:`~repro.idl.compiler.InterfaceDef` metadata, run-time value/type
+  conformance checks, and registration of struct/exception value types with
+  the serialization registry.
+
+Both middleware substrates and the CQoS interceptors are driven purely by
+the resulting metadata, which is what makes one IDL description serve the
+CORBA-like and RMI-like platforms alike.
+"""
+
+from repro.idl.ast import (
+    AttributeDecl,
+    BasicType,
+    ExceptionDecl,
+    IdlType,
+    InterfaceDecl,
+    Member,
+    ModuleDecl,
+    NamedType,
+    Operation,
+    Param,
+    SequenceType,
+    StructDecl,
+)
+from repro.idl.lexer import IdlSyntaxError, tokenize
+from repro.idl.parser import parse_idl
+from repro.idl.compiler import (
+    CompiledIdl,
+    InterfaceDef,
+    OperationDef,
+    ParamDef,
+    compile_idl,
+)
+
+__all__ = [
+    "tokenize",
+    "parse_idl",
+    "compile_idl",
+    "IdlSyntaxError",
+    "CompiledIdl",
+    "InterfaceDef",
+    "OperationDef",
+    "ParamDef",
+    "ModuleDecl",
+    "InterfaceDecl",
+    "StructDecl",
+    "ExceptionDecl",
+    "AttributeDecl",
+    "Operation",
+    "Param",
+    "Member",
+    "IdlType",
+    "BasicType",
+    "SequenceType",
+    "NamedType",
+]

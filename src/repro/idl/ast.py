@@ -1,0 +1,107 @@
+"""Abstract syntax tree and type model for the IDL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class IdlType:
+    """Base class for IDL types."""
+
+
+@dataclass(frozen=True)
+class BasicType(IdlType):
+    """A primitive IDL type.
+
+    ``kind`` is one of: void, boolean, octet, short, unsigned short, long,
+    unsigned long, long long, unsigned long long, float, double, string, any.
+    """
+
+    kind: str
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class SequenceType(IdlType):
+    """``sequence<element>``, mapped to a Python list."""
+
+    element: IdlType
+
+    def __str__(self) -> str:
+        return f"sequence<{self.element}>"
+
+
+@dataclass(frozen=True)
+class NamedType(IdlType):
+    """A reference to a struct, exception, or interface by (scoped) name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Param:
+    direction: str  # "in" | "out" | "inout"
+    type: IdlType
+    name: str
+
+
+@dataclass
+class Operation:
+    name: str
+    return_type: IdlType
+    params: list[Param] = field(default_factory=list)
+    raises: list[str] = field(default_factory=list)
+    oneway: bool = False
+
+
+@dataclass
+class AttributeDecl:
+    """``[readonly] attribute <type> <name>`` — expands to accessor ops."""
+
+    name: str
+    type: IdlType
+    readonly: bool = False
+
+
+@dataclass
+class Member:
+    type: IdlType
+    name: str
+
+
+@dataclass
+class StructDecl:
+    name: str
+    members: list[Member] = field(default_factory=list)
+
+
+@dataclass
+class ExceptionDecl:
+    name: str
+    members: list[Member] = field(default_factory=list)
+
+
+@dataclass
+class InterfaceDecl:
+    name: str
+    bases: list[str] = field(default_factory=list)
+    operations: list[Operation] = field(default_factory=list)
+    attributes: list[AttributeDecl] = field(default_factory=list)
+
+
+@dataclass
+class ModuleDecl:
+    name: str
+    definitions: list = field(default_factory=list)  # nested decls
+
+
+@dataclass
+class Specification:
+    """A parsed IDL file: top-level modules and bare declarations."""
+
+    definitions: list = field(default_factory=list)

@@ -1,0 +1,120 @@
+"""Tokenizer for the IDL subset.
+
+Produces a flat list of :class:`Token` objects with line/column positions so
+the parser can report useful errors.  Handles ``//`` and ``/* */`` comments,
+the ``::`` scope operator, and multi-word keywords are left to the parser
+(``long long`` arrives as two ``long`` tokens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ReproError
+
+KEYWORDS = {
+    "module",
+    "interface",
+    "struct",
+    "exception",
+    "attribute",
+    "readonly",
+    "oneway",
+    "raises",
+    "in",
+    "out",
+    "inout",
+    "void",
+    "boolean",
+    "octet",
+    "short",
+    "long",
+    "float",
+    "double",
+    "string",
+    "any",
+    "sequence",
+    "unsigned",
+}
+
+PUNCTUATION = {"{", "}", "(", ")", "<", ">", ";", ",", "::", ":"}
+
+
+class IdlSyntaxError(ReproError):
+    """Raised for lexical or syntactic errors in IDL source."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "keyword" | "identifier" | "punct" | "eof"
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize IDL source; always ends with a single ``eof`` token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> IdlSyntaxError:
+        return IdlSyntaxError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if source.startswith("::", i):
+            tokens.append(Token("punct", "::", line, column))
+            i += 2
+            column += 2
+            continue
+        if ch in "{}()<>;,:":
+            tokens.append(Token("punct", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "identifier"
+            tokens.append(Token(kind, word, line, column))
+            column += i - start
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,257 @@
+"""Recursive-descent parser for the IDL subset.
+
+Grammar (simplified)::
+
+    specification  := definition*
+    definition     := module | interface | struct | exception
+    module         := "module" IDENT "{" definition* "}" ";"
+    interface      := "interface" IDENT inheritance? "{" export* "}" ";"
+    inheritance    := ":" scoped_name ("," scoped_name)*
+    export         := operation | attribute | struct | exception
+    attribute      := "readonly"? "attribute" type IDENT ";"
+    operation      := "oneway"? type IDENT "(" params? ")" raises? ";"
+    params         := param ("," param)*
+    param          := ("in" | "out" | "inout") type IDENT
+    raises         := "raises" "(" scoped_name ("," scoped_name)* ")"
+    struct         := "struct" IDENT "{" member* "}" ";"
+    exception      := "exception" IDENT "{" member* "}" ";"
+    member         := type IDENT ";"
+    type           := basic | "sequence" "<" type ">" | scoped_name
+    basic          := void boolean octet short long float double string any
+                      | "unsigned" (short | long) | "long" "long" …
+"""
+
+from __future__ import annotations
+
+from repro.idl.ast import (
+    AttributeDecl,
+    BasicType,
+    ExceptionDecl,
+    IdlType,
+    InterfaceDecl,
+    Member,
+    ModuleDecl,
+    NamedType,
+    Operation,
+    Param,
+    SequenceType,
+    Specification,
+    StructDecl,
+)
+from repro.idl.lexer import IdlSyntaxError, Token, tokenize
+
+_BASIC_KEYWORDS = {
+    "void",
+    "boolean",
+    "octet",
+    "short",
+    "float",
+    "double",
+    "string",
+    "any",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> IdlSyntaxError:
+        token = token or self._peek()
+        return IdlSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value or kind
+            raise self._error(f"expected {want!r}, found {token.value or 'end of file'!r}")
+        return self._next()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Specification:
+        spec = Specification()
+        while self._peek().kind != "eof":
+            spec.definitions.append(self._definition())
+        return spec
+
+    def _definition(self):
+        token = self._peek()
+        if token.kind != "keyword":
+            raise self._error(f"expected a definition, found {token.value!r}")
+        if token.value == "module":
+            return self._module()
+        if token.value == "interface":
+            return self._interface()
+        if token.value == "struct":
+            return self._struct()
+        if token.value == "exception":
+            return self._exception()
+        raise self._error(f"unexpected keyword {token.value!r} at top level")
+
+    def _module(self) -> ModuleDecl:
+        self._expect("keyword", "module")
+        name = self._expect("identifier").value
+        self._expect("punct", "{")
+        module = ModuleDecl(name)
+        while not self._accept("punct", "}"):
+            module.definitions.append(self._definition())
+        self._expect("punct", ";")
+        return module
+
+    def _interface(self) -> InterfaceDecl:
+        self._expect("keyword", "interface")
+        name = self._expect("identifier").value
+        interface = InterfaceDecl(name)
+        if self._accept("punct", ":"):
+            interface.bases.append(self._scoped_name())
+            while self._accept("punct", ","):
+                interface.bases.append(self._scoped_name())
+        self._expect("punct", "{")
+        while not self._accept("punct", "}"):
+            interface_member = self._export()
+            if isinstance(interface_member, AttributeDecl):
+                interface.attributes.append(interface_member)
+            else:
+                interface.operations.append(interface_member)
+        self._expect("punct", ";")
+        return interface
+
+    def _export(self):
+        token = self._peek()
+        if token.kind == "keyword" and token.value in ("readonly", "attribute"):
+            return self._attribute()
+        return self._operation()
+
+    def _attribute(self) -> AttributeDecl:
+        readonly = bool(self._accept("keyword", "readonly"))
+        self._expect("keyword", "attribute")
+        attr_type = self._type()
+        name = self._expect("identifier").value
+        self._expect("punct", ";")
+        return AttributeDecl(name=name, type=attr_type, readonly=readonly)
+
+    def _operation(self) -> Operation:
+        oneway = bool(self._accept("keyword", "oneway"))
+        return_type = self._type()
+        name = self._expect("identifier").value
+        self._expect("punct", "(")
+        params: list[Param] = []
+        if not self._accept("punct", ")"):
+            params.append(self._param())
+            while self._accept("punct", ","):
+                params.append(self._param())
+            self._expect("punct", ")")
+        raises: list[str] = []
+        if self._accept("keyword", "raises"):
+            self._expect("punct", "(")
+            raises.append(self._scoped_name())
+            while self._accept("punct", ","):
+                raises.append(self._scoped_name())
+            self._expect("punct", ")")
+        self._expect("punct", ";")
+        return Operation(
+            name=name, return_type=return_type, params=params, raises=raises, oneway=oneway
+        )
+
+    def _param(self) -> Param:
+        token = self._peek()
+        if token.kind == "keyword" and token.value in ("in", "out", "inout"):
+            direction = self._next().value
+        else:
+            raise self._error("parameter must start with in/out/inout")
+        param_type = self._type()
+        name = self._expect("identifier").value
+        return Param(direction=direction, type=param_type, name=name)
+
+    def _struct(self) -> StructDecl:
+        self._expect("keyword", "struct")
+        name = self._expect("identifier").value
+        self._expect("punct", "{")
+        struct = StructDecl(name)
+        while not self._accept("punct", "}"):
+            struct.members.append(self._member())
+        self._expect("punct", ";")
+        return struct
+
+    def _exception(self) -> ExceptionDecl:
+        self._expect("keyword", "exception")
+        name = self._expect("identifier").value
+        self._expect("punct", "{")
+        decl = ExceptionDecl(name)
+        while not self._accept("punct", "}"):
+            decl.members.append(self._member())
+        self._expect("punct", ";")
+        return decl
+
+    def _member(self) -> Member:
+        member_type = self._type()
+        name = self._expect("identifier").value
+        self._expect("punct", ";")
+        return Member(type=member_type, name=name)
+
+    def _type(self) -> IdlType:
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.value in _BASIC_KEYWORDS:
+                self._next()
+                return BasicType(token.value)
+            if token.value == "unsigned":
+                self._next()
+                inner = self._peek()
+                if inner.kind == "keyword" and inner.value == "short":
+                    self._next()
+                    return BasicType("unsigned short")
+                if inner.kind == "keyword" and inner.value == "long":
+                    self._next()
+                    if self._accept("keyword", "long"):
+                        return BasicType("unsigned long long")
+                    return BasicType("unsigned long")
+                raise self._error("expected 'short' or 'long' after 'unsigned'")
+            if token.value == "long":
+                self._next()
+                if self._accept("keyword", "long"):
+                    return BasicType("long long")
+                return BasicType("long")
+            if token.value == "short":
+                self._next()
+                return BasicType("short")
+            if token.value == "sequence":
+                self._next()
+                self._expect("punct", "<")
+                element = self._type()
+                self._expect("punct", ">")
+                return SequenceType(element)
+            raise self._error(f"keyword {token.value!r} is not a type")
+        if token.kind == "identifier":
+            return NamedType(self._scoped_name())
+        raise self._error(f"expected a type, found {token.value!r}")
+
+    def _scoped_name(self) -> str:
+        parts = [self._expect("identifier").value]
+        while self._accept("punct", "::"):
+            parts.append(self._expect("identifier").value)
+        return "::".join(parts)
+
+
+def parse_idl(source: str) -> Specification:
+    """Parse IDL source text into a :class:`Specification`."""
+    return _Parser(tokenize(source)).parse()

@@ -1,0 +1,33 @@
+"""Message transport substrate: the stand-in for the paper's Linux cluster.
+
+The paper evaluated CQoS on a cluster of Pentium III machines on a 1 Gbit
+LAN.  Here, "hosts" are logical nodes inside one process and the wire is one
+of two interchangeable transports:
+
+- :class:`~repro.net.memory.InMemoryNetwork` — deterministic queues with
+  configurable per-message latency/jitter, probabilistic loss, partitions,
+  and host crash/recovery injection.  Used by tests (zero latency) and by
+  the benchmarks (LAN-like latency) so the paper's message-count-dominated
+  cost shape survives.
+- :class:`~repro.net.tcp.TcpNetwork` — real TCP sockets on the loopback
+  interface with length-prefixed frames, for integration tests that want an
+  actual kernel network path.
+
+Both expose the same shape: ``network.host(name)`` returns a
+:class:`~repro.net.transport.Host`; hosts ``listen(service, handler)`` and
+``connect("host/service")``; connections make blocking ``call(bytes)->bytes``
+request/reply exchanges, the only primitive the middleware layers need.
+"""
+
+from repro.net.transport import Connection, Host, Listener, Network
+from repro.net.memory import InMemoryNetwork
+from repro.net.tcp import TcpNetwork
+
+__all__ = [
+    "Network",
+    "Host",
+    "Listener",
+    "Connection",
+    "InMemoryNetwork",
+    "TcpNetwork",
+]

@@ -1,0 +1,268 @@
+"""Real TCP loopback transport with length-prefixed frames.
+
+Gives integration tests an actual kernel network path: every listener is a
+real socket on 127.0.0.1 with an ephemeral port, served by a thread per
+accepted connection.  A process-local name table maps ``"host/service"``
+addresses to ports so the two transports stay interchangeable.
+
+Frames are ``>I``-length-prefixed byte strings; each ``call`` writes one
+request frame and blocks for one reply frame (a per-connection lock keeps
+concurrent callers from interleaving frames).
+
+Crash injection closes the host's server sockets and refuses new accepts
+until :meth:`TcpNetwork.recover`, at which point the same listeners re-open
+on the same logical addresses (new ports, re-resolved through the name
+table) — enough fidelity for failover tests.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+from repro.net.transport import Connection, FrameHandler, Host, Listener, Network, split_address
+from repro.util.errors import CommunicationError, ServerFailedError, TimeoutError_
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise CommunicationError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame from ``sock``."""
+    (length,) = _LEN.unpack(_read_exact(sock, _LEN.size))
+    if length > _MAX_FRAME:
+        raise CommunicationError(f"frame too large: {length} bytes")
+    return _read_exact(sock, length)
+
+
+def write_frame(sock: socket.socket, data: bytes) -> None:
+    """Write one length-prefixed frame to ``sock``."""
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+class _TcpListener(Listener):
+    def __init__(self, network: "TcpNetwork", host_name: str, service: str, handler: FrameHandler):
+        self._network = network
+        self._host_name = host_name
+        self._service = service
+        self._handler = handler
+        self._closed = False
+        self._lock = threading.Lock()
+        self._server_sock: socket.socket | None = None
+        self._accepted: set[socket.socket] = set()
+        self._open()
+
+    @property
+    def address(self) -> str:
+        return f"{self._host_name}/{self._service}"
+
+    def _open(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(64)
+        with self._lock:
+            self._server_sock = sock
+        port = sock.getsockname()[1]
+        self._network._resolve_table[self.address] = port
+        threading.Thread(
+            target=self._accept_loop, args=(sock,), daemon=True, name=f"tcp-accept-{self.address}"
+        ).start()
+
+    def _accept_loop(self, server_sock: socket.socket) -> None:
+        while True:
+            try:
+                conn, _ = server_sock.accept()
+            except OSError:
+                return  # socket closed
+            with self._lock:
+                self._accepted.add(conn)
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True, name=f"tcp-serve-{self.address}"
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                while True:
+                    try:
+                        request = read_frame(conn)
+                    except (CommunicationError, OSError):
+                        return
+                    reply = self._handler(request)
+                    try:
+                        write_frame(conn, reply)
+                    except OSError:
+                        return
+        finally:
+            with self._lock:
+                self._accepted.discard(conn)
+
+    def suspend(self) -> None:
+        """Crash injection: close the server socket and every live connection."""
+        with self._lock:
+            if self._server_sock is not None:
+                try:
+                    self._server_sock.close()
+                finally:
+                    self._server_sock = None
+            accepted = list(self._accepted)
+            self._accepted.clear()
+        for conn in accepted:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._network._resolve_table.pop(self.address, None)
+
+    def resume(self) -> None:
+        """Recovery: re-open on a fresh port under the same address."""
+        with self._lock:
+            already_open = self._server_sock is not None
+        if not already_open and not self._closed:
+            self._open()
+
+    def close(self) -> None:
+        self._closed = True
+        self.suspend()
+        self._network._drop_listener(self)
+
+
+class _TcpConnection(Connection):
+    """Lazy, auto-reconnecting client connection.
+
+    The socket is (re-)established per call attempt if needed, so a server
+    that crashed and recovered on a new port is transparently re-resolved.
+    """
+
+    def __init__(self, network: "TcpNetwork", address: str):
+        self._network = network
+        self._address = address
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._closed = False
+
+    def _ensure_socket(self) -> socket.socket:
+        if self._sock is None:
+            port = self._network._resolve_table.get(self._address)
+            if port is None:
+                raise ServerFailedError(f"no listener at {self._address}")
+            sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def call(self, data: bytes, timeout: float | None = None) -> bytes:
+        if self._closed:
+            raise CommunicationError("connection is closed")
+        with self._lock:
+            try:
+                sock = self._ensure_socket()
+                sock.settimeout(timeout)
+                write_frame(sock, data)
+                return read_frame(sock)
+            except socket.timeout as exc:
+                self._reset()
+                raise TimeoutError_(f"call to {self._address} timed out") from exc
+            except (ServerFailedError, TimeoutError_):
+                self._reset()
+                raise  # already precise; don't flatten the subtype
+            except (OSError, CommunicationError) as exc:
+                self._reset()
+                raise CommunicationError(f"call to {self._address} failed: {exc}") from exc
+
+    def _reset(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._reset()
+
+
+class _TcpHost(Host):
+    def __init__(self, network: "TcpNetwork", name: str):
+        super().__init__(name)
+        self._network = network
+
+    def listen(self, service: str, handler: FrameHandler) -> Listener:
+        address = f"{self.name}/{service}"
+        if address in self._network._resolve_table:
+            raise CommunicationError(f"address already in use: {address}")
+        listener = _TcpListener(self._network, self.name, service, handler)
+        self._network._track_listener(self.name, listener)
+        return listener
+
+    def connect(self, address: str) -> Connection:
+        split_address(address)
+        return _TcpConnection(self._network, address)
+
+
+class TcpNetwork(Network):
+    """A set of logical hosts backed by loopback TCP sockets."""
+
+    def __init__(self) -> None:
+        self._resolve_table: dict[str, int] = {}
+        self._hosts: dict[str, _TcpHost] = {}
+        self._listeners: dict[str, list[_TcpListener]] = {}
+        self._lock = threading.Lock()
+
+    def host(self, name: str) -> Host:
+        with self._lock:
+            existing = self._hosts.get(name)
+            if existing is None:
+                existing = _TcpHost(self, name)
+                self._hosts[name] = existing
+            return existing
+
+    def _track_listener(self, host_name: str, listener: _TcpListener) -> None:
+        with self._lock:
+            self._listeners.setdefault(host_name, []).append(listener)
+
+    def _drop_listener(self, listener: _TcpListener) -> None:
+        with self._lock:
+            for listeners in self._listeners.values():
+                if listener in listeners:
+                    listeners.remove(listener)
+
+    def crash(self, host_name: str) -> None:
+        with self._lock:
+            listeners = list(self._listeners.get(host_name, []))
+        for listener in listeners:
+            listener.suspend()
+
+    def recover(self, host_name: str) -> None:
+        with self._lock:
+            listeners = list(self._listeners.get(host_name, []))
+        for listener in listeners:
+            listener.resume()
+
+    def close(self) -> None:
+        with self._lock:
+            all_listeners = [l for ls in self._listeners.values() for l in ls]
+            self._listeners.clear()
+            self._hosts.clear()
+        for listener in all_listeners:
+            listener.close()

@@ -1,0 +1,91 @@
+"""Abstract transport interfaces shared by the in-memory and TCP networks.
+
+The middleware substrates (:mod:`repro.orb`, :mod:`repro.rmi`) are written
+against these interfaces only, which is what lets every test and benchmark
+choose deterministic in-memory delivery or real loopback TCP without the
+upper layers noticing — the same property the paper relies on when it claims
+CQoS is portable across anything with a request/reply paradigm.
+
+Addresses are strings of the form ``"host/service"``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+# A request handler consumes a request frame and produces a reply frame.
+FrameHandler = Callable[[bytes], bytes]
+
+
+class Connection(ABC):
+    """A client-side handle for blocking request/reply exchanges."""
+
+    @abstractmethod
+    def call(self, data: bytes, timeout: float | None = None) -> bytes:
+        """Send ``data``, block for the reply frame, and return it.
+
+        Raises :class:`~repro.util.errors.CommunicationError` when the peer
+        is crashed, partitioned away, or the message is lost, and
+        :class:`~repro.util.errors.TimeoutError_` on deadline expiry.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the connection.  Idempotent."""
+
+
+class Listener(ABC):
+    """A server-side registration of a service on a host."""
+
+    @property
+    @abstractmethod
+    def address(self) -> str:
+        """The full ``"host/service"`` address this listener serves."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Stop serving.  Idempotent."""
+
+
+class Host(ABC):
+    """A logical node: the unit of crash, recovery, and partition injection."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def listen(self, service: str, handler: FrameHandler) -> Listener:
+        """Serve ``handler`` at ``"<host>/<service>"``."""
+
+    @abstractmethod
+    def connect(self, address: str) -> Connection:
+        """Open a connection from this host to ``address``."""
+
+
+class Network(ABC):
+    """A collection of hosts plus fault-injection controls."""
+
+    @abstractmethod
+    def host(self, name: str) -> Host:
+        """Return (creating if necessary) the host named ``name``."""
+
+    @abstractmethod
+    def crash(self, host_name: str) -> None:
+        """Crash a host: its services stop answering until recovery."""
+
+    @abstractmethod
+    def recover(self, host_name: str) -> None:
+        """Recover a crashed host: existing listeners resume answering."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear down every host and listener."""
+
+
+def split_address(address: str) -> tuple[str, str]:
+    """Split ``"host/service"`` into its two components."""
+    host, sep, service = address.partition("/")
+    if not sep or not host or not service:
+        raise ValueError(f"malformed address {address!r}; expected 'host/service'")
+    return host, service

@@ -1,0 +1,66 @@
+"""A CORBA-like ORB: the first of the two middleware substrates.
+
+The paper's CORBA prototype leans on four ORB mechanisms, all reproduced
+here from scratch:
+
+- **IORs** (:mod:`repro.orb.ior`) — stringifiable interoperable object
+  references carrying a type id, endpoint address, and object key;
+- **POAs** (:mod:`repro.orb.poa`) — named object adapters with which
+  servants register under object ids.  The CQoS replica naming convention
+  ("``OID_agent_poa_i``" POAs holding "``OID_CQoS_Skeleton``" objects)
+  works unchanged on top;
+- **DII** (:mod:`repro.orb.dii`) — dynamic request construction used by the
+  CQoS stub, with run-time conformance checks against interface metadata
+  (this is the "convert the abstract request into a CORBA request" cost the
+  paper measures);
+- **DSI** (:mod:`repro.orb.dsi`) — a generic ``invoke(ServerRequest)``
+  servant entry point used by the CQoS skeleton.
+
+Requests travel as GIOP-like messages (:mod:`repro.orb.giop`) encoded with
+the CDR codec over either transport from :mod:`repro.net`.
+"""
+
+from repro.orb.ior import IOR, ior_to_string, string_to_ior
+from repro.orb.giop import (
+    REPLY_NO_EXCEPTION,
+    REPLY_SYSTEM_EXCEPTION,
+    REPLY_USER_EXCEPTION,
+    ReplyMessage,
+    RequestMessage,
+)
+from repro.orb.dsi import DynamicImplementation, ServerRequest
+from repro.orb.dii import DiiRequest
+from repro.orb.poa import Poa
+from repro.orb.orb import ObjectRef, Orb
+from repro.orb.stubs import StaticSkeleton, make_static_stub_class
+from repro.orb.naming import (
+    NAMING_HOST,
+    NamingClient,
+    NamingService,
+    naming_idl,
+    start_naming_service,
+)
+
+__all__ = [
+    "Orb",
+    "ObjectRef",
+    "Poa",
+    "IOR",
+    "ior_to_string",
+    "string_to_ior",
+    "DiiRequest",
+    "DynamicImplementation",
+    "ServerRequest",
+    "StaticSkeleton",
+    "make_static_stub_class",
+    "RequestMessage",
+    "ReplyMessage",
+    "REPLY_NO_EXCEPTION",
+    "REPLY_USER_EXCEPTION",
+    "REPLY_SYSTEM_EXCEPTION",
+    "NamingService",
+    "NamingClient",
+    "start_naming_service",
+    "naming_idl",
+    "NAMING_HOST",
+]

@@ -1,0 +1,141 @@
+"""GIOP-like wire messages, encoded with the CDR codec.
+
+Two message types cover the request/reply paradigm the paper targets:
+
+- **Request** — request id, object key, operation name, argument list, and a
+  *service context* dict.  The service context is the standard CORBA slot
+  for out-of-band data; CQoS uses it for piggybacked parameters (request
+  priority, encryption markers, signatures, replica-control payloads).
+- **Reply** — request id, status (NO_EXCEPTION / USER_EXCEPTION /
+  SYSTEM_EXCEPTION), and a body: the return value, the user exception value
+  (a registered IDL exception), or a ``{type, message}`` description of a
+  system-level failure.
+
+Frames begin with the 4-byte magic ``GIOP`` and a version octet so stray or
+truncated frames fail loudly instead of mis-decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serialization.cdr import CdrInputStream, CdrOutputStream
+from repro.util.errors import MarshalError
+
+_MAGIC = b"GIOP"
+_VERSION = 1
+
+MSG_REQUEST = 0
+MSG_REPLY = 1
+
+REPLY_NO_EXCEPTION = 0
+REPLY_USER_EXCEPTION = 1
+REPLY_SYSTEM_EXCEPTION = 2
+
+
+@dataclass
+class RequestMessage:
+    request_id: int
+    object_key: str
+    operation: str
+    arguments: list
+    context: dict = field(default_factory=dict)
+    response_expected: bool = True
+    #: Compiled-stub path: pre-marshalled argument body (untagged typed
+    #: CDR); mutually exclusive with ``arguments``.
+    typed_body: bytes | None = None
+
+
+@dataclass
+class ReplyMessage:
+    request_id: int
+    status: int
+    body: Any = None
+    #: Compiled-skeleton path: pre-marshalled result body.
+    typed_body: bytes | None = None
+
+
+def _header(out: CdrOutputStream, msg_type: int) -> None:
+    for byte in _MAGIC:
+        out.write_octet(byte)
+    out.write_octet(_VERSION)
+    out.write_octet(msg_type)
+
+
+def _check_header(stream: CdrInputStream) -> int:
+    magic = bytes(stream.read_octet() for _ in range(4))
+    if magic != _MAGIC:
+        raise MarshalError(f"bad GIOP magic: {magic!r}")
+    version = stream.read_octet()
+    if version != _VERSION:
+        raise MarshalError(f"unsupported GIOP version: {version}")
+    return stream.read_octet()
+
+
+def encode_request(message: RequestMessage) -> bytes:
+    out = CdrOutputStream()
+    _header(out, MSG_REQUEST)
+    out.write_ulong(message.request_id)
+    out.write_string(message.object_key)
+    out.write_string(message.operation)
+    out.write_bool(message.response_expected)
+    if message.typed_body is not None:
+        out.write_bool(True)
+        out.write_bytes(message.typed_body)
+    else:
+        out.write_bool(False)
+        out.write_ulong(len(message.arguments))
+        for argument in message.arguments:
+            out.write_any(argument)
+    out.write_any(message.context)
+    return out.getvalue()
+
+
+def encode_reply(message: ReplyMessage) -> bytes:
+    out = CdrOutputStream()
+    _header(out, MSG_REPLY)
+    out.write_ulong(message.request_id)
+    out.write_octet(message.status)
+    if message.typed_body is not None:
+        out.write_bool(True)
+        out.write_bytes(message.typed_body)
+    else:
+        out.write_bool(False)
+        out.write_any(message.body)
+    return out.getvalue()
+
+
+def decode_message(frame: bytes) -> RequestMessage | ReplyMessage:
+    """Decode either message type, dispatching on the header."""
+    stream = CdrInputStream(frame)
+    msg_type = _check_header(stream)
+    if msg_type == MSG_REQUEST:
+        request_id = stream.read_ulong()
+        object_key = stream.read_string()
+        operation = stream.read_string()
+        response_expected = stream.read_bool()
+        typed_body: bytes | None = None
+        arguments: list = []
+        if stream.read_bool():
+            typed_body = stream.read_bytes()
+        else:
+            count = stream.read_ulong()
+            arguments = [stream.read_any() for _ in range(count)]
+        context = stream.read_any()
+        return RequestMessage(
+            request_id=request_id,
+            object_key=object_key,
+            operation=operation,
+            arguments=arguments,
+            context=context,
+            response_expected=response_expected,
+            typed_body=typed_body,
+        )
+    if msg_type == MSG_REPLY:
+        request_id = stream.read_ulong()
+        status = stream.read_octet()
+        if stream.read_bool():
+            return ReplyMessage(request_id=request_id, status=status, typed_body=stream.read_bytes())
+        return ReplyMessage(request_id=request_id, status=status, body=stream.read_any())
+    raise MarshalError(f"unknown GIOP message type: {msg_type}")

@@ -1,0 +1,73 @@
+"""Interoperable Object References.
+
+An IOR names one CORBA object: its repository type id
+(``IDL:bank/BankAccount:1.0`` style), the transport address of the ORB
+serving it, and the object key (``poa_name|object_id``) that routes the
+request inside that ORB.  ``IOR:<hex>`` stringification mirrors real CORBA:
+the reference is CDR-encoded and hex-dumped so it can be mailed around as
+opaque text, which is exactly how the naming service stores references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serialization.cdr import CdrInputStream, CdrOutputStream
+from repro.util.errors import MarshalError
+
+
+@dataclass(frozen=True)
+class IOR:
+    """A reference to one object served by one ORB endpoint."""
+
+    type_id: str  # repository id, e.g. "IDL:bank/BankAccount:1.0"
+    address: str  # transport address, e.g. "server-1/giop"
+    object_key: str  # "poa_name|object_id"
+
+    @property
+    def poa_name(self) -> str:
+        return self.object_key.split("|", 1)[0]
+
+    @property
+    def object_id(self) -> str:
+        return self.object_key.split("|", 1)[1]
+
+
+def repository_id(scoped_interface_name: str) -> str:
+    """Map an IDL scoped name to a CORBA-style repository id.
+
+    >>> repository_id("bank::BankAccount")
+    'IDL:bank/BankAccount:1.0'
+    """
+    return f"IDL:{scoped_interface_name.replace('::', '/')}:1.0"
+
+
+def make_object_key(poa_name: str, object_id: str) -> str:
+    if "|" in poa_name or "|" in object_id:
+        raise MarshalError("POA names and object ids may not contain '|'")
+    return f"{poa_name}|{object_id}"
+
+
+def ior_to_string(ior: IOR) -> str:
+    """Stringify an IOR as ``IOR:<hex of CDR encoding>``."""
+    out = CdrOutputStream()
+    out.write_string(ior.type_id)
+    out.write_string(ior.address)
+    out.write_string(ior.object_key)
+    return "IOR:" + out.getvalue().hex()
+
+
+def string_to_ior(text: str) -> IOR:
+    """Parse a string produced by :func:`ior_to_string`."""
+    if not text.startswith("IOR:"):
+        raise MarshalError(f"not a stringified IOR: {text[:16]!r}")
+    try:
+        data = bytes.fromhex(text[4:])
+    except ValueError as exc:
+        raise MarshalError("corrupt IOR hex body") from exc
+    stream = CdrInputStream(data)
+    return IOR(
+        type_id=stream.read_string(),
+        address=stream.read_string(),
+        object_key=stream.read_string(),
+    )

@@ -1,0 +1,139 @@
+"""CORBA-style naming service, implemented as an ordinary CORBA object.
+
+The service is itself defined in IDL and served through a static skeleton —
+the same dogfooding real ORBs do.  Its well-known location (host
+``"naming"``, POA ``"naming_poa"``, object id ``"NameService"``) is how
+``Orb.resolve_initial_references("NameService")`` bootstraps without a
+stringified IOR.
+
+CQoS replica discovery uses it with the paper's naming convention: replica
+``i`` of object ``OID`` binds its CQoS skeleton reference under
+``"OID/replica-i"`` and clients enumerate ``list_names("OID/")``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.idl.compiler import CompiledIdl, compile_idl
+from repro.orb.ior import IOR, make_object_key, repository_id
+
+if TYPE_CHECKING:
+    from repro.orb.orb import ObjectRef, Orb
+
+NAMING_HOST = "naming"
+NAMING_POA = "naming_poa"
+NAMING_OBJECT_ID = "NameService"
+
+NAMING_IDL = """
+module cos {
+  exception NotFound { string name; };
+  exception AlreadyBound { string name; };
+  interface NamingService {
+    void bind(in string name, in string ior) raises (AlreadyBound);
+    void rebind(in string name, in string ior);
+    string resolve(in string name) raises (NotFound);
+    void unbind(in string name) raises (NotFound);
+    sequence<string> list_names(in string prefix);
+  };
+};
+"""
+
+_compiled: CompiledIdl | None = None
+_compile_lock = threading.Lock()
+
+
+def naming_idl() -> CompiledIdl:
+    """The compiled naming IDL (compiled once per process)."""
+    global _compiled
+    with _compile_lock:
+        if _compiled is None:
+            _compiled = compile_idl(NAMING_IDL)
+        return _compiled
+
+
+def naming_service_ior(host: str = NAMING_HOST, service: str = "giop") -> IOR:
+    """The well-known IOR of the naming service (corbaloc-style bootstrap)."""
+    return IOR(
+        type_id=repository_id("cos::NamingService"),
+        address=f"{host}/{service}",
+        object_key=make_object_key(NAMING_POA, NAMING_OBJECT_ID),
+    )
+
+
+class NamingService:
+    """The servant: a thread-safe name -> stringified-IOR table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._table: dict[str, str] = {}
+
+    def bind(self, name: str, ior: str) -> None:
+        compiled = naming_idl()
+        with self._lock:
+            if name in self._table:
+                raise compiled.exceptions["cos::AlreadyBound"](name=name)
+            self._table[name] = ior
+
+    def rebind(self, name: str, ior: str) -> None:
+        with self._lock:
+            self._table[name] = ior
+
+    def resolve(self, name: str) -> str:
+        with self._lock:
+            ior = self._table.get(name)
+        if ior is None:
+            raise naming_idl().exceptions["cos::NotFound"](name=name)
+        return ior
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._table:
+                raise naming_idl().exceptions["cos::NotFound"](name=name)
+            del self._table[name]
+
+    def list_names(self, prefix: str) -> list[str]:
+        with self._lock:
+            return sorted(name for name in self._table if name.startswith(prefix))
+
+
+def start_naming_service(orb: "Orb") -> NamingService:
+    """Activate a :class:`NamingService` at the well-known location.
+
+    The ORB should live on the ``NAMING_HOST`` host (or whatever
+    ``naming_host`` the client ORBs were configured with).
+    """
+    servant = NamingService()
+    poa = orb.create_poa(NAMING_POA)
+    poa.activate_object(
+        NAMING_OBJECT_ID, servant, interface=naming_idl().interface("cos::NamingService")
+    )
+    return servant
+
+
+class NamingClient:
+    """Typed client wrapper over the naming service reference."""
+
+    def __init__(self, ref: "ObjectRef"):
+        self._ref = ref
+
+    def bind(self, name: str, ior: str) -> None:
+        self._ref.invoke_op("bind", [name, ior])
+
+    def rebind(self, name: str, ior: str) -> None:
+        self._ref.invoke_op("rebind", [name, ior])
+
+    def resolve(self, name: str) -> str:
+        return self._ref.invoke_op("resolve", [name])
+
+    def unbind(self, name: str) -> None:
+        self._ref.invoke_op("unbind", [name])
+
+    def list_names(self, prefix: str = "") -> list[str]:
+        return list(self._ref.invoke_op("list_names", [prefix]))
+
+
+def naming_client(orb: "Orb") -> NamingClient:
+    """Build a :class:`NamingClient` from an ORB's initial references."""
+    return NamingClient(orb.resolve_initial_references("NameService"))

@@ -1,0 +1,342 @@
+"""The ORB core: endpoint, request dispatch, and client-side invocation.
+
+One :class:`Orb` per logical host serves every POA of that host from a
+single transport listener (CORBA's one-endpoint-per-ORB model); the object
+key inside each GIOP request routes to ``poa_name|object_id``.
+
+Server-side dispatch:
+
+- static servants go through their :class:`~repro.orb.stubs.StaticSkeleton`;
+- DSI servants get a :class:`~repro.orb.dsi.ServerRequest` via ``invoke()``;
+- IDL-declared exceptions travel back as USER_EXCEPTION replies carrying
+  the exception value; everything else becomes a SYSTEM_EXCEPTION with the
+  exception type name and message.
+
+Oneway requests are acknowledged at the transport level immediately and
+dispatched on a detached thread, so the caller never blocks on servant
+execution — the CORBA ``oneway`` contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.idl.compiler import CompiledIdl, IdlRemoteException
+from repro.net.transport import Connection, Network
+from repro.orb import giop
+from repro.orb.dii import DiiRequest
+from repro.orb.dsi import ServerRequest
+from repro.orb.ior import IOR, ior_to_string, string_to_ior
+from repro.orb.poa import Poa
+from repro.util.errors import (
+    BindError,
+    CommunicationError,
+    InvocationError,
+    ReproError,
+)
+from repro.util.ids import IdGenerator
+
+
+class ObjectRef:
+    """A client-side reference to a remote CORBA object."""
+
+    def __init__(self, orb: "Orb", ior: IOR):
+        self._orb = orb
+        self.ior = ior
+
+    def _create_request(self, operation: str) -> DiiRequest:
+        """DII entry point: build a dynamic request on this reference."""
+        return DiiRequest(self, operation)
+
+    def invoke_op(self, operation: str, arguments: list, context: dict | None = None) -> Any:
+        """Convenience synchronous invocation without a generated stub."""
+        return self._orb.invoke(self.ior, operation, arguments, context or {})
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.ior.type_id}, {self.ior.address}, {self.ior.object_key})"
+
+
+class Orb:
+    """One CORBA-like ORB bound to one logical host of a network."""
+
+    def __init__(
+        self,
+        network: Network,
+        host_name: str,
+        compiled: CompiledIdl,
+        service: str = "giop",
+        naming_host: str = "naming",
+    ):
+        self._network = network
+        self.host_name = host_name
+        self.compiled = compiled
+        self._service = service
+        self._naming_host = naming_host
+        self._host = network.host(host_name)
+        self._listener = None
+        self._poas: dict[str, Poa] = {}
+        self._poa_lock = threading.Lock()
+        self._request_ids = IdGenerator(host_name)
+        self._connections: dict[str, Connection] = {}
+        self._conn_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def endpoint_address(self) -> str:
+        return f"{self.host_name}/{self._service}"
+
+    def start(self) -> "Orb":
+        """Open the server endpoint.  Client-only ORBs may skip this."""
+        if not self._started:
+            self._listener = self._host.listen(self._service, self._handle_frame)
+            self._started = True
+        return self
+
+    def shutdown(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        self._started = False
+        with self._conn_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+        with self._poa_lock:
+            self._poas.clear()
+
+    # -- POA management ------------------------------------------------------
+
+    def create_poa(self, name: str) -> Poa:
+        with self._poa_lock:
+            if name in self._poas:
+                raise ReproError(f"POA {name!r} already exists")
+            poa = Poa(self, name)
+            self._poas[name] = poa
+            return poa
+
+    def find_poa(self, name: str) -> Poa | None:
+        with self._poa_lock:
+            return self._poas.get(name)
+
+    def _drop_poa(self, name: str) -> None:
+        with self._poa_lock:
+            self._poas.pop(name, None)
+
+    # -- references ----------------------------------------------------------
+
+    def object_to_string(self, ref: ObjectRef | IOR) -> str:
+        ior = ref.ior if isinstance(ref, ObjectRef) else ref
+        return ior_to_string(ior)
+
+    def string_to_object(self, text: str) -> ObjectRef:
+        return ObjectRef(self, string_to_ior(text))
+
+    def get_object(self, ior: IOR) -> ObjectRef:
+        return ObjectRef(self, ior)
+
+    def resolve_initial_references(self, name: str) -> ObjectRef:
+        """Bootstrap references; only ``"NameService"`` is defined."""
+        if name != "NameService":
+            raise BindError(f"unknown initial reference {name!r}")
+        from repro.orb.naming import naming_service_ior
+
+        return ObjectRef(self, naming_service_ior(self._naming_host, self._service))
+
+    # -- client side -----------------------------------------------------------
+
+    def _connection(self, address: str) -> Connection:
+        with self._conn_lock:
+            connection = self._connections.get(address)
+            if connection is None:
+                connection = self._host.connect(address)
+                self._connections[address] = connection
+            return connection
+
+    def drop_connection(self, address: str) -> None:
+        """Forget a cached connection (e.g. after a peer crash)."""
+        with self._conn_lock:
+            connection = self._connections.pop(address, None)
+        if connection is not None:
+            connection.close()
+
+    def invoke(
+        self,
+        ior: IOR,
+        operation: str,
+        arguments: list,
+        context: dict,
+        response_expected: bool = True,
+        timeout: float | None = None,
+    ) -> Any:
+        """Send one GIOP request (dynamic, any-tagged) and decode the reply.
+
+        Raises the remote user exception instance for USER_EXCEPTION
+        replies, :class:`InvocationError` for SYSTEM_EXCEPTION replies, and
+        :class:`CommunicationError` subtypes for transport failures.
+        """
+        request = giop.RequestMessage(
+            request_id=self._request_ids.next_int(),
+            object_key=ior.object_key,
+            operation=operation,
+            arguments=arguments,
+            context=context,
+            response_expected=response_expected,
+        )
+        reply = self._exchange(ior, request, timeout)
+        if reply is None:
+            return None
+        return reply.body
+
+    def invoke_typed(
+        self,
+        ior: IOR,
+        operation_def,
+        arguments: list,
+        response_expected: bool = True,
+        timeout: float | None = None,
+    ) -> Any:
+        """Compiled-stub invocation: untagged typed CDR both ways.
+
+        ``operation_def`` is the :class:`~repro.idl.compiler.OperationDef`
+        the stub was generated from; both ends marshal against it.
+        """
+        from repro.orb.typed_marshal import marshal_arguments, unmarshal_result
+
+        request = giop.RequestMessage(
+            request_id=self._request_ids.next_int(),
+            object_key=ior.object_key,
+            operation=operation_def.name,
+            arguments=[],
+            context={},
+            response_expected=response_expected,
+            typed_body=marshal_arguments(operation_def, arguments, self.compiled),
+        )
+        reply = self._exchange(ior, request, timeout)
+        if reply is None:
+            return None
+        if reply.typed_body is not None:
+            return unmarshal_result(operation_def, reply.typed_body, self.compiled)
+        return reply.body
+
+    def _exchange(
+        self, ior: IOR, request: giop.RequestMessage, timeout: float | None
+    ) -> giop.ReplyMessage | None:
+        """Send a request, decode the reply, map exception statuses."""
+        frame = giop.encode_request(request)
+        connection = self._connection(ior.address)
+        try:
+            reply_frame = connection.call(frame, timeout=timeout)
+        except CommunicationError:
+            self.drop_connection(ior.address)
+            raise
+        reply = giop.decode_message(reply_frame)
+        if not isinstance(reply, giop.ReplyMessage):
+            raise CommunicationError("expected a GIOP reply message")
+        if reply.status == giop.REPLY_NO_EXCEPTION:
+            return reply
+        if reply.status == giop.REPLY_USER_EXCEPTION:
+            if isinstance(reply.body, BaseException):
+                raise reply.body
+            raise InvocationError("UserException", repr(reply.body))
+        body = reply.body if isinstance(reply.body, dict) else {}
+        raise InvocationError(
+            body.get("type", "SystemException"), body.get("message", "")
+        )
+
+    # -- server side -------------------------------------------------------------
+
+    def _handle_frame(self, frame: bytes) -> bytes:
+        message = giop.decode_message(frame)
+        if not isinstance(message, giop.RequestMessage):
+            return giop.encode_reply(
+                giop.ReplyMessage(
+                    request_id=0,
+                    status=giop.REPLY_SYSTEM_EXCEPTION,
+                    body={"type": "BadMessage", "message": "expected a request"},
+                )
+            )
+        if not message.response_expected:
+            # Oneway: acknowledge at transport level, dispatch detached.
+            threading.Thread(
+                target=self._dispatch, args=(message,), daemon=True, name="orb-oneway"
+            ).start()
+            return giop.encode_reply(
+                giop.ReplyMessage(
+                    request_id=message.request_id, status=giop.REPLY_NO_EXCEPTION
+                )
+            )
+        return giop.encode_reply(self._dispatch(message))
+
+    def _dispatch(self, message: giop.RequestMessage) -> giop.ReplyMessage:
+        try:
+            if message.typed_body is not None:
+                return self._dispatch_typed(message)
+            result = self._dispatch_to_servant(message)
+            return giop.ReplyMessage(
+                request_id=message.request_id,
+                status=giop.REPLY_NO_EXCEPTION,
+                body=result,
+            )
+        except IdlRemoteException as exc:
+            return giop.ReplyMessage(
+                request_id=message.request_id,
+                status=giop.REPLY_USER_EXCEPTION,
+                body=exc,
+            )
+        except BaseException as exc:  # noqa: BLE001 - mapped to a system exception
+            return giop.ReplyMessage(
+                request_id=message.request_id,
+                status=giop.REPLY_SYSTEM_EXCEPTION,
+                body={"type": type(exc).__name__, "message": str(exc)},
+            )
+
+    def _dispatch_typed(self, message: giop.RequestMessage) -> giop.ReplyMessage:
+        """Compiled-skeleton dispatch: typed bodies need interface metadata,
+        so only static activations accept them (DSI servants cannot know the
+        types — exactly real CORBA's constraint)."""
+        from repro.orb.typed_marshal import marshal_result, unmarshal_arguments
+
+        activation = self._find_activation(message.object_key)
+        if activation.is_dynamic:
+            raise InvocationError(
+                "BadRequest", "typed request sent to a dynamic (DSI) servant"
+            )
+        operation = activation.skeleton.interface.operation(message.operation)
+        arguments = unmarshal_arguments(operation, message.typed_body, self.compiled)
+        result = activation.skeleton.dispatch(message.operation, arguments)
+        return giop.ReplyMessage(
+            request_id=message.request_id,
+            status=giop.REPLY_NO_EXCEPTION,
+            typed_body=marshal_result(operation, result, self.compiled),
+        )
+
+    def _find_activation(self, object_key: str):
+        poa_name, _, object_id = object_key.partition("|")
+        poa = self.find_poa(poa_name)
+        if poa is None:
+            raise BindError(f"no POA {poa_name!r} on host {self.host_name}")
+        activation = poa.lookup(object_id)
+        if activation is None:
+            raise BindError(f"no object {object_id!r} in POA {poa_name!r}")
+        return activation
+
+    def _dispatch_to_servant(self, message: giop.RequestMessage) -> Any:
+        activation = self._find_activation(message.object_key)
+        if activation.is_dynamic:
+            server_request = ServerRequest(
+                message.operation, message.arguments, message.context
+            )
+            activation.servant.invoke(server_request)
+            if not server_request.completed:
+                raise InvocationError(
+                    "IncompleteRequest",
+                    f"DSI servant did not complete {message.operation!r}",
+                )
+            if server_request.exception is not None:
+                raise server_request.exception
+            return server_request.result
+        return activation.skeleton.dispatch(message.operation, message.arguments)

@@ -1,0 +1,64 @@
+"""QoS micro-protocols (paper section 3).
+
+- :mod:`repro.qos.base` — ClientBase and ServerBase, the default
+  request-processing pipeline every configuration builds on;
+- :mod:`repro.qos.fault_tolerance` — ActiveRep, PassiveRep, acceptance
+  semantics (first response / first success / majority vote), sequencer
+  TotalOrder, plus the extensions the paper lists as easy to add
+  (retransmission, coordinator failover, request logging & recovery);
+- :mod:`repro.qos.security` — DesPrivacy, SignedIntegrity, AccessControl;
+- :mod:`repro.qos.timeliness` — PrioritySched, QueuedSched, TimedSched;
+- :mod:`repro.qos.combinations` — the composability matrix behind the
+  paper's ">100 combinations" claim, with validation of client/server
+  configuration pairs.
+
+None of the individual techniques is novel (the paper says as much); what
+is reproduced is their packaging as composable micro-protocols.
+"""
+
+from repro.qos.base import ClientBase, ServerBase
+from repro.qos.fault_tolerance import (
+    ActiveRep,
+    FirstSuccess,
+    MajorityVote,
+    PassiveRep,
+    PassiveRepServer,
+    Retransmit,
+    TotalOrder,
+)
+from repro.qos.security import AccessControl, DesPrivacy, DesPrivacyServer, SignedIntegrity, SignedIntegrityServer
+from repro.qos.timeliness import PrioritySched, QueuedSched, TimedSched
+from repro.qos.combinations import (
+    CLIENT_SIDE,
+    FT_COMBINATIONS,
+    SERVER_SIDE,
+    all_combinations,
+    count_combinations,
+    validate_configuration,
+)
+
+__all__ = [
+    "ClientBase",
+    "ServerBase",
+    "ActiveRep",
+    "PassiveRep",
+    "PassiveRepServer",
+    "FirstSuccess",
+    "MajorityVote",
+    "TotalOrder",
+    "Retransmit",
+    "DesPrivacy",
+    "DesPrivacyServer",
+    "SignedIntegrity",
+    "SignedIntegrityServer",
+    "AccessControl",
+    "PrioritySched",
+    "QueuedSched",
+    "TimedSched",
+    "all_combinations",
+    "count_combinations",
+    "validate_configuration",
+    "FT_COMBINATIONS",
+    "CLIENT_SIDE",
+    "SERVER_SIDE",
+]

@@ -1,0 +1,189 @@
+"""A CactusBuilder-style configuration builder (paper §2.3.3).
+
+"While this customization must currently be done using a programming
+interface, a graphical tool similar to the CactusBuilder could be developed
+to facilitate the process."  This is that tool, minus the pixels: a fluent
+builder that turns *attribute-level* choices (the vocabulary of the
+composability matrix) into validated, matched client/server micro-protocol
+configurations — as instances, as :class:`MicroProtocolSpec` lists for the
+dynamic path, or as the text config-file format.
+
+    spec = (QosBuilder()
+            .fault_tolerance("active", acceptance="vote", total_order=True)
+            .privacy(key_hex="0123456789abcdef")
+            .integrity(key_hex="99aabbccddeeff00")
+            .timeliness("timed", period=0.05, high_rate_threshold=2)
+            .build())
+    deployment.add_replicas(..., server_micro_protocols=spec.server_factory())
+    deployment.client_stub(..., client_micro_protocols=spec.client_factory())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cactus.config import MicroProtocolSpec, build_micro_protocols
+from repro.qos.combinations import validate_configuration
+from repro.util.errors import ConfigurationError
+
+_FT_CHOICES = ("none", "active", "passive")
+_ACCEPTANCE_CHOICES = (None, "first", "success", "vote")
+_TIMELINESS_CHOICES = (None, "priority", "queued", "timed")
+
+
+@dataclass
+class QosSpec:
+    """A validated pair of client/server configurations."""
+
+    client_specs: list[MicroProtocolSpec] = field(default_factory=list)
+    server_specs: list[MicroProtocolSpec] = field(default_factory=list)
+
+    def client_factory(self):
+        """Zero-arg factory for ``CqosDeployment.client_stub``."""
+        return lambda: build_micro_protocols(self.client_specs)
+
+    def server_factory(self):
+        """Zero-arg factory for ``CqosDeployment.add_replicas``."""
+        return lambda: build_micro_protocols(self.server_specs)
+
+    def client_config_text(self) -> str:
+        """The client half in the config-file format."""
+        return _to_text(self.client_specs)
+
+    def server_config_text(self) -> str:
+        """The server half in the config-file format."""
+        return _to_text(self.server_specs)
+
+
+def _to_text(specs: list[MicroProtocolSpec]) -> str:
+    lines = []
+    for spec in specs:
+        params = " ".join(f"{k}={v}" for k, v in spec.params.items())
+        lines.append(f"{spec.name} {params}".strip())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class QosBuilder:
+    """Fluent assembly of a QoS configuration; ``build()`` validates."""
+
+    def __init__(self) -> None:
+        self._ft = "none"
+        self._acceptance: str | None = None
+        self._total_order = False
+        self._total_order_params: dict[str, Any] = {}
+        self._privacy: dict[str, Any] | None = None
+        self._integrity: dict[str, Any] | None = None
+        self._access: dict[str, Any] | None = None
+        self._timeliness: str | None = None
+        self._timeliness_params: dict[str, Any] = {}
+        self._extras_client: list[MicroProtocolSpec] = []
+        self._extras_server: list[MicroProtocolSpec] = []
+
+    # -- fault tolerance ---------------------------------------------------
+
+    def fault_tolerance(
+        self,
+        style: str,
+        acceptance: str | None = None,
+        total_order: bool = False,
+        order_timeout: float | None = None,
+    ) -> "QosBuilder":
+        """``style``: none | active | passive.
+
+        ``acceptance`` (active only): first | success | vote.
+        ``total_order`` (active only): sequencer-based consistent ordering.
+        """
+        if style not in _FT_CHOICES:
+            raise ConfigurationError(f"fault_tolerance style must be one of {_FT_CHOICES}")
+        if acceptance not in _ACCEPTANCE_CHOICES:
+            raise ConfigurationError(f"acceptance must be one of {_ACCEPTANCE_CHOICES}")
+        if style != "active" and (acceptance not in (None, "first") or total_order):
+            raise ConfigurationError(
+                "acceptance semantics and total order require active replication"
+            )
+        self._ft = style
+        self._acceptance = acceptance
+        self._total_order = total_order
+        if order_timeout is not None:
+            self._total_order_params["order_timeout"] = order_timeout
+        return self
+
+    # -- security ---------------------------------------------------------------
+
+    def privacy(self, key_hex: str) -> "QosBuilder":
+        self._privacy = {"key_hex": key_hex}
+        return self
+
+    def integrity(self, key_hex: str) -> "QosBuilder":
+        self._integrity = {"key_hex": key_hex}
+        return self
+
+    def access_control(self, acl: dict, default_allow: bool = True) -> "QosBuilder":
+        self._access = {"acl": acl, "default_allow": default_allow}
+        return self
+
+    # -- timeliness ----------------------------------------------------------------
+
+    def timeliness(self, style: str | None, **params: Any) -> "QosBuilder":
+        """``style``: priority | queued | timed (or None)."""
+        if style not in _TIMELINESS_CHOICES:
+            raise ConfigurationError(f"timeliness must be one of {_TIMELINESS_CHOICES}")
+        self._timeliness = style
+        self._timeliness_params = params
+        return self
+
+    # -- escape hatch ----------------------------------------------------------------
+
+    def extra(self, side: str, name: str, **params: Any) -> "QosBuilder":
+        """Append an arbitrary registered micro-protocol to one side."""
+        spec = MicroProtocolSpec(name, params)
+        if side == "client":
+            self._extras_client.append(spec)
+        elif side == "server":
+            self._extras_server.append(spec)
+        else:
+            raise ConfigurationError("side must be 'client' or 'server'")
+        return self
+
+    # -- assembly ---------------------------------------------------------------------
+
+    def build(self) -> QosSpec:
+        client: list[MicroProtocolSpec] = []
+        server: list[MicroProtocolSpec] = []
+
+        if self._ft == "active":
+            client.append(MicroProtocolSpec("ActiveRep"))
+            if self._acceptance == "success":
+                client.append(MicroProtocolSpec("FirstSuccess"))
+            elif self._acceptance == "vote":
+                client.append(MicroProtocolSpec("MajorityVote"))
+            if self._total_order:
+                server.append(MicroProtocolSpec("TotalOrder", dict(self._total_order_params)))
+        elif self._ft == "passive":
+            client.append(MicroProtocolSpec("PassiveRep"))
+            server.append(MicroProtocolSpec("PassiveRepServer"))
+
+        if self._privacy is not None:
+            client.append(MicroProtocolSpec("DesPrivacy", dict(self._privacy)))
+            server.append(MicroProtocolSpec("DesPrivacyServer", dict(self._privacy)))
+        if self._integrity is not None:
+            client.append(MicroProtocolSpec("SignedIntegrity", dict(self._integrity)))
+            server.append(MicroProtocolSpec("SignedIntegrityServer", dict(self._integrity)))
+        if self._access is not None:
+            server.append(MicroProtocolSpec("AccessControl", dict(self._access)))
+
+        if self._timeliness == "priority":
+            server.append(MicroProtocolSpec("PrioritySched"))
+        elif self._timeliness == "queued":
+            server.append(MicroProtocolSpec("QueuedSched", dict(self._timeliness_params)))
+        elif self._timeliness == "timed":
+            server.append(MicroProtocolSpec("TimedSched", dict(self._timeliness_params)))
+
+        client.extend(self._extras_client)
+        server.extend(self._extras_server)
+
+        validate_configuration(
+            [spec.name for spec in client], [spec.name for spec in server]
+        )
+        return QosSpec(client_specs=client, server_specs=server)

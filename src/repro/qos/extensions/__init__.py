@@ -1,0 +1,27 @@
+"""Micro-protocols beyond the paper's prototype set.
+
+Each is something the paper explicitly names as implementable in the same
+way (sections 2.2, 3, and 3.5):
+
+- :class:`~repro.qos.extensions.load_balance.LoadBalance` — "the
+  server_status() operation … could be extended to provide information such
+  as the load conditions on the server for load balancing purposes";
+- :class:`~repro.qos.extensions.caching.ClientCache` — "other properties
+  and functions such as caching, prefetching, and load balancing could be
+  implemented in similar ways";
+- :class:`~repro.qos.extensions.admission.AdmissionControl` — "additional
+  timeliness micro-protocols could include admission control and traffic
+  enforcement".
+"""
+
+from repro.qos.extensions.load_balance import LoadBalance, LoadReporter
+from repro.qos.extensions.caching import ClientCache
+from repro.qos.extensions.admission import AdmissionControl, RateLimiter
+
+__all__ = [
+    "LoadBalance",
+    "LoadReporter",
+    "ClientCache",
+    "AdmissionControl",
+    "RateLimiter",
+]

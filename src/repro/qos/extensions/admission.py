@@ -1,0 +1,136 @@
+"""Admission control and traffic enforcement (extension; paper §3.5).
+
+- :class:`RateLimiter` — a token bucket (capacity + refill rate) shared by
+  the enforcement protocols, driven by the composite's clock so virtual
+  time works in tests;
+- :class:`AdmissionControl` — a server-side micro-protocol bound early to
+  ``readyToInvoke`` that rejects work beyond the configured rate and/or
+  concurrency, completing the request with
+  :class:`~repro.util.errors.ReproError` before any resource is consumed.
+  Optionally exempts high-priority requests (admission control as a
+  timeliness attribute: shed load from the low classes first).
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_LAST, Occurrence
+from repro.core.events import EV_INVOKE_RETURN, EV_READY_TO_INVOKE
+from repro.core.request import Request
+from repro.qos.timeliness.common import HIGH_PRIORITY_THRESHOLD, is_high_priority
+from repro.util.clock import Clock
+from repro.util.errors import ReproError
+from repro.util.log import get_logger
+
+logger = get_logger("qos.admission")
+
+
+class AdmissionRejectedError(ReproError):
+    """The server shed this request before executing it."""
+
+
+class RateLimiter:
+    """A token bucket on an injectable clock."""
+
+    def __init__(self, rate: float, capacity: float, clock: Clock):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.rate = rate
+        self.capacity = capacity
+        self._clock = clock
+        self._tokens = capacity
+        self._updated = clock.now()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        now = self._clock.now()
+        self._tokens = min(self.capacity, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        now = self._clock.now()
+        return min(self.capacity, self._tokens + (now - self._updated) * self.rate)
+
+
+#: Admission runs after AccessControl (0) and before the schedulers (2):
+#: shed load before queuing it.
+ORDER_ADMISSION = 1
+
+
+@register_micro_protocol("AdmissionControl")
+class AdmissionControl(MicroProtocol):
+    """Reject requests beyond a rate and/or concurrency budget."""
+
+    name = "AdmissionControl"
+
+    def __init__(
+        self,
+        max_rate: float | None = None,
+        burst: float | None = None,
+        max_concurrent: int | None = None,
+        exempt_high_priority: bool = True,
+        high_threshold: int = HIGH_PRIORITY_THRESHOLD,
+    ):
+        super().__init__()
+        self._max_rate = max_rate
+        self._burst = burst if burst is not None else (max_rate or 1.0)
+        self._max_concurrent = max_concurrent
+        self._exempt_high = exempt_high_priority
+        self._high_threshold = high_threshold
+        self._limiter: RateLimiter | None = None
+        self._in_flight = 0
+        self.rejected = 0
+
+    def start(self) -> None:
+        if self._max_rate is not None:
+            self._limiter = RateLimiter(
+                self._max_rate, self._burst, self.composite.runtime.clock
+            )
+        self.bind(EV_READY_TO_INVOKE, self.admit, order=ORDER_ADMISSION)
+        self.bind(EV_INVOKE_RETURN, self.release, order=ORDER_LAST)
+
+    def admit(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        if self._exempt_high and is_high_priority(request, self._high_threshold):
+            with self.shared.lock:
+                self._in_flight += 1
+                request.attributes["admitted"] = True
+            return
+        with self.shared.lock:
+            over_concurrency = (
+                self._max_concurrent is not None
+                and self._in_flight >= self._max_concurrent
+            )
+            over_rate = self._limiter is not None and not self._limiter.try_acquire()
+            if over_concurrency or over_rate:
+                self.rejected += 1
+                reason = "concurrency" if over_concurrency else "rate"
+                logger.warning(
+                    "admission control shed %s from %s (%s budget)",
+                    request.operation, request.client_id or "<anonymous>", reason,
+                )
+                request.fail(
+                    AdmissionRejectedError(
+                        f"request shed by admission control ({reason} budget)"
+                    )
+                )
+                occurrence.halt_all()
+                return
+            self._in_flight += 1
+            request.attributes["admitted"] = True
+
+    def release(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        if request.attributes.pop("admitted", False):
+            with self.shared.lock:
+                self._in_flight = max(0, self._in_flight - 1)
+
+    def in_flight(self) -> int:
+        with self.shared.lock:
+            return self._in_flight

@@ -1,0 +1,90 @@
+"""Client-side result caching (extension; paper §3 names caching as a
+property implementable "in similar ways").
+
+:class:`ClientCache` serves designated *read* operations from a local cache
+and invalidates on any other (write) operation to the same object — the
+classic read-mostly accelerator, expressed as two handlers:
+
+- an early ``newRequest`` handler that completes cached reads locally and
+  halts the pipeline (no message is sent at all);
+- a late ``invokeSuccess`` handler that populates the cache from real
+  replies and clears it after writes.
+
+Consistency caveat (documented, not hidden): the cache is per-client; other
+clients' writes are invisible until ``ttl`` expires.  With ``ttl=0`` the
+cache only coalesces a client's own repeated reads between its own writes.
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_FIRST, ORDER_LATE, Occurrence
+from repro.core.events import EV_INVOKE_SUCCESS, EV_NEW_REQUEST
+from repro.core.request import Reply, Request
+
+
+@register_micro_protocol("ClientCache")
+class ClientCache(MicroProtocol):
+    """Cache replies of read operations; invalidate on writes."""
+
+    name = "ClientCache"
+
+    def __init__(self, read_operations: list[str] | tuple[str, ...] = (), ttl: float = 0.0):
+        """``read_operations``: operation names safe to serve from cache.
+
+        ``ttl``: seconds a cached value stays fresh; 0 means "until this
+        client's next write".
+        """
+        super().__init__()
+        self._reads = frozenset(read_operations)
+        self._ttl = ttl
+        # (operation, params-repr) -> (value, cached_at)
+        self._cache: dict[tuple, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def start(self) -> None:
+        self.bind(EV_NEW_REQUEST, self.serve_from_cache, order=ORDER_FIRST)
+        self.bind(EV_INVOKE_SUCCESS, self.update_cache, order=ORDER_LATE)
+
+    def _key(self, request: Request) -> tuple:
+        return (request.operation, repr(request.get_params()))
+
+    def _fresh(self, cached_at: float) -> bool:
+        if self._ttl <= 0.0:
+            return True
+        return self.composite.runtime.clock.now() - cached_at <= self._ttl
+
+    def serve_from_cache(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        if request.operation not in self._reads:
+            return
+        with self.shared.lock:
+            entry = self._cache.get(self._key(request))
+        if entry is not None and self._fresh(entry[1]):
+            self.hits += 1
+            request.complete(entry[0])
+            occurrence.halt_all()
+        else:
+            self.misses += 1
+
+    def update_cache(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        reply: Reply = occurrence.args[2]
+        if reply.exception is not None:
+            return
+        with self.shared.lock:
+            if request.operation in self._reads:
+                self._cache[self._key(request)] = (
+                    reply.value,
+                    self.composite.runtime.clock.now(),
+                )
+            else:
+                # A write: everything this client cached may be stale.
+                self._cache.clear()
+
+    def invalidate(self) -> None:
+        """Explicit invalidation hook for applications."""
+        with self.shared.lock:
+            self._cache.clear()

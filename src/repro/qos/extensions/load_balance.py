@@ -1,0 +1,141 @@
+"""Load balancing over server replicas (extension; paper §2.2).
+
+Two halves:
+
+- :class:`LoadReporter` (server) — tracks the number of requests currently
+  executing on this replica and answers ``load`` control-plane queries: the
+  load-conditions extension of ``server_status()`` the paper sketches;
+- :class:`LoadBalance` (client) — overrides the base assigner, directing
+  each request to the least-loaded live replica.  Load is polled lazily
+  with a bounded staleness (``poll_interval``), so steady traffic costs one
+  extra control message per replica per interval, not per request.
+
+Composable with the acceptance and security protocols; mutually exclusive
+with the replication assigners (ActiveRep sends everywhere, PassiveRep
+pins a primary — both replace the same base handler).
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_EARLY, ORDER_LAST, Occurrence
+from repro.core.client import SHARED_FAILED_SERVERS, SHARED_PLATFORM
+from repro.core.events import (
+    CONTROL_EVENT_PREFIX,
+    EV_INVOKE_RETURN,
+    EV_NEW_REQUEST,
+    EV_NEW_SERVER_REQUEST,
+    EV_READY_TO_SEND,
+)
+from repro.core.interfaces import ClientPlatform, ControlMessage
+from repro.core.request import Request
+from repro.util.errors import CommunicationError, ServerFailedError
+
+CONTROL_LOAD = "load"
+
+
+@register_micro_protocol("LoadReporter")
+class LoadReporter(MicroProtocol):
+    """Server half: count in-flight requests, answer load queries."""
+
+    name = "LoadReporter"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._in_flight = 0
+
+    def start(self) -> None:
+        self.bind(EV_NEW_SERVER_REQUEST, self.request_arrived, order=ORDER_EARLY)
+        self.bind(EV_INVOKE_RETURN, self.request_done, order=ORDER_LAST)
+        self.bind(CONTROL_EVENT_PREFIX + CONTROL_LOAD, self.report_load)
+
+    def request_arrived(self, occurrence: Occurrence) -> None:
+        with self.shared.lock:
+            self._in_flight += 1
+
+    def request_done(self, occurrence: Occurrence) -> None:
+        with self.shared.lock:
+            self._in_flight = max(0, self._in_flight - 1)
+
+    def report_load(self, occurrence: Occurrence) -> None:
+        message: ControlMessage = occurrence.args[0]
+        with self.shared.lock:
+            message.respond(self._in_flight)
+
+    def current_load(self) -> int:
+        with self.shared.lock:
+            return self._in_flight
+
+
+@register_micro_protocol("LoadBalance")
+class LoadBalance(MicroProtocol):
+    """Client half: assign each request to the least-loaded replica."""
+
+    name = "LoadBalance"
+
+    def __init__(self, poll_interval: float = 0.25):
+        super().__init__()
+        self._poll_interval = poll_interval
+        self._loads: dict[int, int] = {}
+        self._last_poll = float("-inf")
+
+    def start(self) -> None:
+        self.bind(EV_NEW_REQUEST, self.lb_assigner, order=ORDER_EARLY)
+
+    # -- load polling ------------------------------------------------------
+
+    def _poll_loads(self, platform: ClientPlatform) -> None:
+        """Query each replica's LoadReporter through the control plane.
+
+        Uses the platform's control operation (the same path as ping); a
+        replica that cannot be reached is reported as failed-for-now.
+        """
+        from repro.core.skeleton import CONTROL_OPERATION
+
+        failed: set = self.shared.get(SHARED_FAILED_SERVERS)
+        for server in range(1, platform.num_servers() + 1):
+            try:
+                platform.bind(server)
+                ref_invoke = getattr(platform, "invoke_server")
+                probe = Request(
+                    "lb", CONTROL_OPERATION, [CONTROL_LOAD, 0, {}]
+                )
+                self._loads[server] = int(ref_invoke(server, probe))
+            except (CommunicationError, Exception):  # noqa: BLE001
+                self._loads[server] = 1 << 30
+                with self.shared.lock:
+                    failed.add(server)
+
+    def _maybe_poll(self, platform: ClientPlatform) -> None:
+        now = self.composite.runtime.clock.now()
+        if now - self._last_poll >= self._poll_interval:
+            self._last_poll = now
+            self._poll_loads(platform)
+
+    # -- assignment ------------------------------------------------------------
+
+    def lb_assigner(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
+        failed: set = self.shared.get(SHARED_FAILED_SERVERS)
+        self._maybe_poll(platform)
+        candidates = [
+            server
+            for server in range(1, platform.num_servers() + 1)
+            if server not in failed
+        ]
+        if not candidates:
+            request.fail(ServerFailedError("no live replica for load balancing"))
+            occurrence.halt()
+            return
+        chosen = min(candidates, key=lambda s: (self._loads.get(s, 0), s))
+        # Optimistically bump the chosen replica so a burst between polls
+        # spreads instead of dogpiling.
+        self._loads[chosen] = self._loads.get(chosen, 0) + 1
+        request.server = chosen
+        self.raise_event(EV_READY_TO_SEND, request, chosen)
+        occurrence.halt()
+
+    def known_loads(self) -> dict[int, int]:
+        return dict(self._loads)

@@ -1,0 +1,50 @@
+"""Fault-tolerance micro-protocols (paper section 3.2).
+
+Replication:
+
+- :class:`~repro.qos.fault_tolerance.active.ActiveRep` — active
+  replication: the request goes to all replicas, all non-crashed replicas
+  reply;
+- :class:`~repro.qos.fault_tolerance.passive.PassiveRep` (client) and
+  :class:`~repro.qos.fault_tolerance.passive.PassiveRepServer` (server) —
+  passive replication: the designated primary replies and forwards state
+  updates to the backups; the client fails over on primary failure.
+
+Acceptance semantics (when is a request "completed"?):
+
+- default (in ClientBase): first reply, success or failure;
+- :class:`~repro.qos.fault_tolerance.acceptance.FirstSuccess` — first
+  successful execution;
+- :class:`~repro.qos.fault_tolerance.acceptance.MajorityVote` — majority
+  value of the non-failed replicas.
+
+Ordering: :class:`~repro.qos.fault_tolerance.total_order.TotalOrder` — a
+sequencer-based total order across replicas (with the coordinator-failover
+extension the paper leaves as future work).
+
+Extensions beyond the prototype: :class:`~repro.qos.fault_tolerance.retransmit.Retransmit`
+(transient network failures), request logging + recovery
+(:mod:`~repro.qos.fault_tolerance.logging_recovery`), and a client-side
+failure detector (:mod:`~repro.qos.fault_tolerance.membership`).
+"""
+
+from repro.qos.fault_tolerance.active import ActiveRep
+from repro.qos.fault_tolerance.passive import PassiveRep, PassiveRepServer
+from repro.qos.fault_tolerance.acceptance import FirstSuccess, MajorityVote
+from repro.qos.fault_tolerance.total_order import TotalOrder
+from repro.qos.fault_tolerance.retransmit import Retransmit
+from repro.qos.fault_tolerance.logging_recovery import RequestLog, replay_log
+from repro.qos.fault_tolerance.membership import FailureDetector
+
+__all__ = [
+    "ActiveRep",
+    "PassiveRep",
+    "PassiveRepServer",
+    "FirstSuccess",
+    "MajorityVote",
+    "TotalOrder",
+    "Retransmit",
+    "RequestLog",
+    "replay_log",
+    "FailureDetector",
+]

@@ -1,0 +1,113 @@
+"""Acceptance semantics: when is a replicated request completed?
+
+"The current prototype supports three different acceptance semantics …
+ClientBase by default implements a policy useful for the non-replicated
+case where the first reply (success or failure) to arrive is returned to
+the client.  A second micro-protocol returns the result from the first
+successful execution and a third returns the majority value from non-failed
+replicas.  Both of these micro-protocols consist of one handler that is
+executed before the base resultReturner."
+
+Both protocols bind one handler to ``invokeSuccess`` *and* ``invokeFailure``
+at :data:`~repro.cactus.events.ORDER_LATE` (before the base returner's
+``ORDER_LAST``) and halt, so the base first-reply policy never runs while
+they are configured.
+
+A reply that reached the servant but raised an application exception counts
+as a *successful execution with an exceptional outcome*: FirstSuccess
+returns it (all replicas are deterministic, so retrying another replica
+would reproduce it) and MajorityVote groups it like any other outcome.
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_LATE, Occurrence
+from repro.core.client import SHARED_PLATFORM
+from repro.core.events import EV_INVOKE_FAILURE, EV_INVOKE_SUCCESS
+from repro.core.interfaces import ClientPlatform
+from repro.core.request import Reply, Request
+from repro.util.errors import ServerFailedError
+
+
+def _outcome_key(reply: Reply) -> tuple:
+    """A hashable equality key for a reply's outcome (value or exception)."""
+    if reply.exception is not None:
+        return ("exc", type(reply.exception).__name__, str(reply.exception))
+    return ("val", repr(reply.value))
+
+
+class _AcceptanceBase(MicroProtocol):
+    """Common wiring: one decision handler on both completion events."""
+
+    def start(self) -> None:
+        self.bind(EV_INVOKE_SUCCESS, self.decide, order=ORDER_LATE)
+        self.bind(EV_INVOKE_FAILURE, self.decide, order=ORDER_LATE)
+
+    def _expected_replies(self) -> int:
+        platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
+        return platform.num_servers()
+
+    def decide(self, occurrence: Occurrence) -> None:
+        raise NotImplementedError
+
+
+@register_micro_protocol("FirstSuccess")
+class FirstSuccess(_AcceptanceBase):
+    """Complete with the first reply whose invocation reached the servant."""
+
+    name = "FirstSuccess"
+
+    def decide(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        reply: Reply = occurrence.args[2]
+        if reply.succeeded:
+            request.complete_from_reply(reply)
+        elif request.reply_count() >= self._expected_replies():
+            # Every replica has answered and none succeeded.
+            replies = request.replies()
+            if all(r.failed for r in replies.values()):
+                request.fail(
+                    ServerFailedError(
+                        f"all {len(replies)} replicas failed for {request.operation}"
+                    )
+                )
+        occurrence.halt()  # override the base first-reply returner
+
+
+@register_micro_protocol("MajorityVote")
+class MajorityVote(_AcceptanceBase):
+    """Complete with the value a majority of non-failed replicas agree on."""
+
+    name = "MajorityVote"
+
+    def decide(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        expected = self._expected_replies()
+        majority = expected // 2 + 1
+        with request.mutex:
+            replies = request.replies()
+            counts: dict[tuple, list[Reply]] = {}
+            for reply in replies.values():
+                if reply.succeeded:
+                    counts.setdefault(_outcome_key(reply), []).append(reply)
+            winner: list[Reply] | None = None
+            for group in counts.values():
+                if len(group) >= majority:
+                    winner = group
+                    break
+            if winner is not None:
+                request.complete_from_reply(winner[0])
+            elif len(replies) >= expected:
+                # Everyone answered; check whether a majority is still possible.
+                best = max((len(g) for g in counts.values()), default=0)
+                failures = sum(1 for r in replies.values() if r.failed)
+                if best + 0 < majority:  # no group can grow any further
+                    request.fail(
+                        ServerFailedError(
+                            f"no majority among {expected} replicas "
+                            f"({failures} failed, largest agreement {best})"
+                        )
+                    )
+        occurrence.halt()

@@ -1,0 +1,56 @@
+"""Active replication (paper section 3.2).
+
+"ActiveRep consists of one handler actAssigner that is similar to the base
+assigner except that it raises readyToSend asynchronously.  The constructor
+of ActiveRep binds actAssigner to the event newRequest multiple times, once
+for each server.  …  each instance of actAssigner raises readyToSend, which
+starts a separate instance of syncInvoker … executed concurrently by a
+separate thread and thus, the blocking server invocations are executed in
+parallel.  The actAssigner handlers override the base assigner by executing
+before it and halting further execution associated with the event."
+
+Every sentence above maps one-to-one onto this implementation: the replica
+number travels as the binding's *static argument*, the raise uses
+``mode="async"`` so each ``syncInvoker`` instance runs on its own pool
+thread, and ``halt()`` suppresses the later-ordered base assigner while
+letting the same-ordered sibling instances run.
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_EARLY, Occurrence
+from repro.core.client import SHARED_PLATFORM
+from repro.core.events import EV_NEW_REQUEST, EV_READY_TO_SEND
+from repro.core.interfaces import ClientPlatform
+from repro.core.request import Request
+
+
+@register_micro_protocol("ActiveRep")
+class ActiveRep(MicroProtocol):
+    """Send every request to all replicas concurrently."""
+
+    name = "ActiveRep"
+
+    def __init__(self, num_servers: int | None = None):
+        """``num_servers`` overrides replica discovery (mainly for tests)."""
+        super().__init__()
+        self._num_servers = num_servers
+
+    def start(self) -> None:
+        platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
+        count = self._num_servers if self._num_servers is not None else platform.num_servers()
+        for server in range(1, count + 1):
+            self.bind(
+                EV_NEW_REQUEST,
+                self.act_assigner,
+                order=ORDER_EARLY,
+                static_args=(server,),
+            )
+
+    def act_assigner(self, occurrence: Occurrence, server: int) -> None:
+        """One instance per replica: dispatch asynchronously, override base."""
+        request: Request = occurrence.args[0]
+        self.raise_event(EV_READY_TO_SEND, request, server, mode="async")
+        occurrence.halt()

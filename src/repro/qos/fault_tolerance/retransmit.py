@@ -1,0 +1,80 @@
+"""Retransmission of lost requests (extension).
+
+"Currently we assume the underlying platform handles network failures, but
+it would be easy to add retransmission micro-protocols." (paper §3.2)
+This is that micro-protocol: a client-side handler bound early to
+``invokeFailure`` that re-raises ``readyToSend`` for the same replica when
+the failure looks transient (message loss / connection reset / timeout),
+with a bounded attempt count and optional delay between attempts.
+
+Host-crash failures (:class:`~repro.util.errors.ServerFailedError`) are
+*not* retried — those are the replication protocols' job; retrying a dead
+host would only slow failover down.
+
+Safe because the server side suppresses duplicates when PassiveRepServer is
+configured, and because a lost *request* never executed at all; a lost
+*reply* after execution re-executes the operation, so pair this with the
+duplicate-suppression cache for non-idempotent operations (the
+deployment-level guidance CORBA's at-most-once semantics encode).
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_FIRST, Occurrence
+from repro.core.events import EV_INVOKE_FAILURE, EV_READY_TO_SEND
+from repro.core.request import Reply, Request
+from repro.util.errors import CommunicationError, ServerFailedError
+from repro.util.log import get_logger
+
+logger = get_logger("qos.retransmit")
+
+ATTR_ATTEMPTS = "retransmit_attempts"
+
+
+@register_micro_protocol("Retransmit")
+class Retransmit(MicroProtocol):
+    """Retry transiently failed invocations before anyone else reacts."""
+
+    name = "Retransmit"
+
+    def __init__(self, max_attempts: int = 3, retry_delay: float = 0.0):
+        """``max_attempts`` counts total tries (first send included)."""
+        super().__init__()
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._max_attempts = max_attempts
+        self._retry_delay = retry_delay
+
+    def start(self) -> None:
+        self.bind(EV_INVOKE_FAILURE, self.maybe_retry, order=ORDER_FIRST)
+
+    def maybe_retry(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        server: int = occurrence.args[1]
+        reply: Reply = occurrence.args[2]
+        if not self._is_transient(reply.exception):
+            return  # let failover / the base returner handle it
+        with request.mutex:
+            attempts = request.attributes.get(ATTR_ATTEMPTS, {}).get(server, 1)
+            if attempts >= self._max_attempts:
+                return
+            request.attributes.setdefault(ATTR_ATTEMPTS, {})[server] = attempts + 1
+        logger.debug(
+            "retransmitting %s to server %d (attempt %d)",
+            request.operation, server, attempts + 1,
+        )
+        if self._retry_delay > 0.0:
+            self.raise_event(
+                EV_READY_TO_SEND, request, server, delay=self._retry_delay
+            )
+        else:
+            self.raise_event(EV_READY_TO_SEND, request, server, mode="async")
+        occurrence.halt()
+
+    @staticmethod
+    def _is_transient(exception: BaseException | None) -> bool:
+        return isinstance(exception, CommunicationError) and not isinstance(
+            exception, ServerFailedError
+        )

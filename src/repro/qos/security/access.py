@@ -1,0 +1,66 @@
+"""Server-side access control (§3.3: "access control is implemented by a
+micro-protocol at the server").
+
+Policy model: a per-operation allowlist keyed on the piggybacked client
+identity, with a configurable default for operations without an explicit
+entry.  Checked on ``readyToInvoke`` *after* the security preprocessing of
+``newServerRequest`` (so the identity has been integrity-verified when
+SignedIntegrityServer is configured) and *before* everything else on that
+event — a denied request must never consume a sequence number, a scheduling
+slot, or the servant.
+
+Denial completes the request with
+:class:`~repro.util.errors.AccessDeniedError` and halts the whole chain;
+the client sees the error as the invocation outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_FIRST, Occurrence
+from repro.core.events import EV_READY_TO_INVOKE
+from repro.core.request import Request
+from repro.util.errors import AccessDeniedError
+
+
+@register_micro_protocol("AccessControl")
+class AccessControl(MicroProtocol):
+    """Allowlist-based per-operation access control."""
+
+    name = "AccessControl"
+
+    def __init__(
+        self,
+        acl: Mapping[str, Iterable[str]] | None = None,
+        default_allow: bool = True,
+    ):
+        """``acl`` maps operation name -> allowed client ids.
+
+        Operations absent from ``acl`` follow ``default_allow``.
+        """
+        super().__init__()
+        self._acl = {op: frozenset(clients) for op, clients in (acl or {}).items()}
+        self._default_allow = default_allow
+
+    def start(self) -> None:
+        self.bind(EV_READY_TO_INVOKE, self.check_access, order=ORDER_FIRST)
+
+    def allowed(self, operation: str, client_id: str) -> bool:
+        entry = self._acl.get(operation)
+        if entry is None:
+            return self._default_allow
+        return client_id in entry
+
+    def check_access(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        if self.allowed(request.operation, request.client_id):
+            return
+        request.fail(
+            AccessDeniedError(
+                f"client {request.client_id!r} may not call {request.operation!r}"
+            )
+        )
+        occurrence.halt_all()

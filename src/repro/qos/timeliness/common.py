@@ -1,0 +1,35 @@
+"""Shared priority conventions for the timeliness micro-protocols."""
+
+from __future__ import annotations
+
+from repro.core.request import Request
+
+#: Conventional request priorities on the 1..10 thread-priority scale.
+HIGH_PRIORITY = 8
+LOW_PRIORITY = 2
+
+#: Requests at or above this priority are treated as "high priority" by the
+#: queue-based schedulers.
+HIGH_PRIORITY_THRESHOLD = 6
+
+#: Request attribute marking a request released from a scheduler's queue so
+#: the re-raised readyToInvoke passes the admission check.
+ATTR_RELEASED = "sched_released"
+
+#: Sticky attribute: the request already passed admission once.  Protocols
+#: that re-dispatch readyToInvoke for their own reasons (TotalOrder releasing
+#: a parked request) must not send an admitted request back through the
+#: scheduler queue — that deadlocks both protocols (the request holds a
+#: sequence number the ordering is waiting on while it sits in the
+#: scheduler's queue).
+ATTR_ADMITTED = "sched_admitted"
+
+#: Order (on readyToInvoke) of the scheduling admission handlers: after
+#: AccessControl (0), before TotalOrder's sequencing (5/10) — queuing before
+#: ordering, the paper's conflict resolution for the coordinator.
+ORDER_SCHED = 2
+
+
+def is_high_priority(request: Request, threshold: int = HIGH_PRIORITY_THRESHOLD) -> bool:
+    """Classify a request by its (policy- or piggyback-derived) priority."""
+    return request.priority >= threshold

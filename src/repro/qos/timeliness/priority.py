@@ -1,0 +1,36 @@
+"""Thread-priority scheduling (§3.4).
+
+"The first, PrioritySched, manipulates thread priorities.  It consists of
+one handler setPriority bound to readyToInvoke that sets the priority of
+the current thread based on the request priority.  It is set to execute as
+the first handler for this event so that it can change the priority as
+early as possible."
+
+With the Cactus runtime's priority preservation, every event raised from
+this point on — including the asynchronous raises of replication and
+ordering protocols — executes at the request's priority, so high-priority
+requests jump the runtime's work queues.
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_FIRST, Occurrence
+from repro.core.events import EV_READY_TO_INVOKE
+from repro.core.request import Request
+from repro.util.concurrency import set_thread_priority
+
+
+@register_micro_protocol("PrioritySched")
+class PrioritySched(MicroProtocol):
+    """Execute each request at its own thread priority."""
+
+    name = "PrioritySched"
+
+    def start(self) -> None:
+        self.bind(EV_READY_TO_INVOKE, self.set_priority, order=ORDER_FIRST)
+
+    def set_priority(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        set_thread_priority(request.priority)

@@ -1,0 +1,45 @@
+"""A Java-RMI-like platform: the second middleware substrate.
+
+Structurally simpler than the ORB, matching the paper's observation that
+"RMI is simpler than CORBA and does not have concepts such as POA and DSI":
+
+- remote objects are *exported* from an :class:`~repro.rmi.runtime.RmiRuntime`
+  (one endpoint per runtime, object ids route inside it);
+- clients hold :class:`~repro.rmi.runtime.RemoteRef` values and invoke through
+  generated stubs (:func:`~repro.rmi.runtime.make_rmi_stub_class`);
+- a bootstrap :mod:`registry <repro.rmi.registry>` maps generic names to
+  remote references (``java.rmi.Naming`` analog);
+- the wire protocol (:mod:`repro.rmi.jrmp`) encodes calls with the
+  Java-serialization-like tagged codec.
+
+For CQoS, the important RMI idiosyncrasies are reproduced: there are no
+server-side skeletons, so the CQoS skeleton is a *generic remote object*
+exporting a single ``invoke`` method (the paper's simulated DSI), and
+replicas register under the ``"OID_CQoS_Skeleton_i"`` naming convention.
+"""
+
+from repro.rmi.runtime import (
+    GenericRemoteObject,
+    RemoteRef,
+    RmiRuntime,
+    make_rmi_stub_class,
+)
+from repro.rmi.registry import (
+    REGISTRY_HOST,
+    RegistryClient,
+    RmiRegistry,
+    registry_client,
+    start_registry,
+)
+
+__all__ = [
+    "RmiRuntime",
+    "RemoteRef",
+    "GenericRemoteObject",
+    "make_rmi_stub_class",
+    "RmiRegistry",
+    "RegistryClient",
+    "start_registry",
+    "registry_client",
+    "REGISTRY_HOST",
+]

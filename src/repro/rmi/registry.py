@@ -1,0 +1,115 @@
+"""The RMI registry: a bootstrap naming service for remote references.
+
+``java.rmi.Naming`` analog: a well-known generic remote object (host
+``"rmi-registry"``, object id ``"registry"``) mapping string names to
+:class:`~repro.rmi.runtime.RemoteRef` values.  It is itself served through
+the generic-invoke path, so the registry needs no IDL of its own.
+
+The CQoS/RMI replica convention from the paper lives on top of this: the
+skeleton for replica ``i`` of object ``OID`` registers as
+``"OID_CQoS_Skeleton_i"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.rmi.runtime import GENERIC_INTERFACE, RemoteRef, RmiRuntime
+from repro.util.errors import BindError
+
+REGISTRY_HOST = "rmi-registry"
+REGISTRY_OBJECT_ID = "registry"
+
+
+class RmiRegistry:
+    """The registry servant (a generic remote object)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._table: dict[str, RemoteRef] = {}
+
+    # Generic remote-object entry point -----------------------------------
+
+    def invoke(self, method: str, arguments: list, context: dict) -> Any:
+        handler = getattr(self, f"do_{method}", None)
+        if handler is None:
+            raise BindError(f"registry has no operation {method!r}")
+        return handler(*arguments)
+
+    # Operations -----------------------------------------------------------
+
+    def do_bind(self, name: str, ref: RemoteRef) -> None:
+        with self._lock:
+            if name in self._table:
+                raise BindError(f"name already bound: {name!r}")
+            self._table[name] = ref
+
+    def do_rebind(self, name: str, ref: RemoteRef) -> None:
+        with self._lock:
+            self._table[name] = ref
+
+    def do_lookup(self, name: str) -> RemoteRef:
+        with self._lock:
+            ref = self._table.get(name)
+        if ref is None:
+            raise BindError(f"name not bound: {name!r}")
+        return ref
+
+    def do_unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._table:
+                raise BindError(f"name not bound: {name!r}")
+            del self._table[name]
+
+    def do_list(self, prefix: str) -> list[str]:
+        with self._lock:
+            return sorted(name for name in self._table if name.startswith(prefix))
+
+
+def start_registry(runtime: RmiRuntime) -> RmiRegistry:
+    """Export a registry at the well-known object id on ``runtime``.
+
+    The runtime should live on the ``REGISTRY_HOST`` host (or whatever
+    ``registry_host`` the client runtimes were configured with).
+    """
+    registry = RmiRegistry()
+    runtime.export_generic(registry, object_id=REGISTRY_OBJECT_ID)
+    return registry
+
+
+def registry_ref(registry_host: str = REGISTRY_HOST, service: str = "rmi") -> RemoteRef:
+    """The well-known reference to the registry."""
+    return RemoteRef(
+        interface_name=GENERIC_INTERFACE,
+        address=f"{registry_host}/{service}",
+        object_id=REGISTRY_OBJECT_ID,
+    )
+
+
+class RegistryClient:
+    """Client wrapper: the ``java.rmi.Naming`` static-methods analog."""
+
+    def __init__(self, runtime: RmiRuntime, registry_host: str | None = None):
+        self._runtime = runtime
+        self._ref = registry_ref(registry_host or runtime.registry_host)
+
+    def bind(self, name: str, ref: RemoteRef) -> None:
+        self._runtime.call(self._ref, "bind", [name, ref])
+
+    def rebind(self, name: str, ref: RemoteRef) -> None:
+        self._runtime.call(self._ref, "rebind", [name, ref])
+
+    def lookup(self, name: str) -> RemoteRef:
+        return self._runtime.call(self._ref, "lookup", [name])
+
+    def unbind(self, name: str) -> None:
+        self._runtime.call(self._ref, "unbind", [name])
+
+    def list(self, prefix: str = "") -> list[str]:
+        return list(self._runtime.call(self._ref, "list", [prefix]))
+
+
+def registry_client(runtime: RmiRuntime) -> RegistryClient:
+    """Build a :class:`RegistryClient` for ``runtime``'s configured registry."""
+    return RegistryClient(runtime)

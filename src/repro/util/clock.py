@@ -1,0 +1,91 @@
+"""Clock abstraction: real wall-clock time and a controllable virtual clock.
+
+Timeliness micro-protocols (:mod:`repro.qos.timeliness`) and the in-memory
+network's latency injection need a time source.  Production code uses
+:class:`RealClock`; deterministic tests use :class:`VirtualClock`, which only
+advances when told to and wakes sleepers in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Time source used by the runtime, network, and timeliness protocols."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block the calling thread for ``seconds`` of this clock's time."""
+
+
+class RealClock(Clock):
+    """Wall-clock time based on :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """A manually advanced clock for deterministic tests.
+
+    Threads calling :meth:`sleep` park on a condition variable; a driver
+    thread calls :meth:`advance` to move time forward, waking sleepers whose
+    deadline has been reached (in deadline order).
+
+    >>> clock = VirtualClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock.now()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._cond = threading.Condition()
+        # Heap of (deadline, seq, event) for parked sleepers.
+        self._sleepers: list[tuple[float, int, threading.Event]] = []
+        self._seq = 0
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        done = threading.Event()
+        with self._cond:
+            deadline = self._now + seconds
+            self._seq += 1
+            heapq.heappush(self._sleepers, (deadline, self._seq, done))
+            self._cond.notify_all()
+        done.wait()
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock, releasing any sleepers whose deadline passes."""
+        with self._cond:
+            target = self._now + seconds
+            while self._sleepers and self._sleepers[0][0] <= target:
+                deadline, _, done = heapq.heappop(self._sleepers)
+                self._now = max(self._now, deadline)
+                done.set()
+            self._now = target
+            self._cond.notify_all()
+
+    def pending_sleepers(self) -> int:
+        """Return the number of threads currently parked in :meth:`sleep`."""
+        with self._cond:
+            return len(self._sleepers)

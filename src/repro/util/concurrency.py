@@ -1,0 +1,221 @@
+"""Concurrency primitives: priority-aware executor, latches, futures.
+
+The paper's Cactus/J runtime was modified in two ways to support the
+timeliness micro-protocols (section 3.4):
+
+1. a variant of ``raise()`` that specifies the priority of the thread used to
+   execute the handlers, and
+2. handlers bound to an event are executed by a thread with the same priority
+   as the raising thread unless specified otherwise.
+
+Python threads have no OS-visible priority, so priority is reproduced at the
+library level: every thread carries a *logical priority* in a thread-local
+(:func:`current_thread_priority`), and :class:`PriorityExecutor` dispatches
+queued work highest-priority-first.  Executor workers adopt the priority a
+task was submitted with, which gives exactly the two behaviours above.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Iterator
+from contextlib import contextmanager
+
+DEFAULT_PRIORITY = 5
+MIN_PRIORITY = 1
+MAX_PRIORITY = 10
+
+_tls = threading.local()
+
+
+def current_thread_priority() -> int:
+    """Return the calling thread's logical priority (default 5)."""
+    return getattr(_tls, "priority", DEFAULT_PRIORITY)
+
+
+def set_thread_priority(priority: int) -> None:
+    """Set the calling thread's logical priority.
+
+    Clamped to [MIN_PRIORITY, MAX_PRIORITY]; higher numbers run first.
+    """
+    _tls.priority = max(MIN_PRIORITY, min(MAX_PRIORITY, priority))
+
+
+@contextmanager
+def thread_priority(priority: int) -> Iterator[None]:
+    """Context manager that temporarily changes the thread's priority."""
+    previous = current_thread_priority()
+    set_thread_priority(priority)
+    try:
+        yield
+    finally:
+        set_thread_priority(previous)
+
+
+class CountDownLatch:
+    """A latch that releases waiters once it has been counted down to zero.
+
+    Used by the Cactus client to block ``cactus_request()`` until a
+    result-returner handler releases the waiting client thread.
+    """
+
+    def __init__(self, count: int = 1):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._count = count
+        self._cond = threading.Condition()
+
+    def count_down(self) -> None:
+        with self._cond:
+            if self._count > 0:
+                self._count -= 1
+                if self._count == 0:
+                    self._cond.notify_all()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the count reaches zero; return False on timeout."""
+        with self._cond:
+            if self._count == 0:
+                return True
+            return self._cond.wait_for(lambda: self._count == 0, timeout)
+
+    @property
+    def count(self) -> int:
+        with self._cond:
+            return self._count
+
+
+class ResultFuture:
+    """A minimal one-shot future: set a value or an exception once, wait many.
+
+    ``concurrent.futures.Future`` would also work, but this variant lets the
+    completer check-and-set atomically (needed by acceptance micro-protocols
+    where several replica replies race to complete one request).
+    """
+
+    _UNSET = object()
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._value: Any = self._UNSET
+        self._exception: BaseException | None = None
+        self._done = False
+
+    def set_result(self, value: Any) -> bool:
+        """Complete with ``value``; return False if already completed."""
+        with self._cond:
+            if self._done:
+                return False
+            self._value = value
+            self._done = True
+            self._cond.notify_all()
+            return True
+
+    def set_exception(self, exc: BaseException) -> bool:
+        """Complete with an exception; return False if already completed."""
+        with self._cond:
+            if self._done:
+                return False
+            self._exception = exc
+            self._done = True
+            self._cond.notify_all()
+            return True
+
+    def done(self) -> bool:
+        with self._cond:
+            return self._done
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Wait for completion and return the value (or raise the exception)."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout):
+                from repro.util.errors import TimeoutError_
+
+                raise TimeoutError_("future did not complete in time")
+            if self._exception is not None:
+                raise self._exception
+            return self._value
+
+
+class PriorityExecutor:
+    """A thread pool that runs submitted callables highest-priority-first.
+
+    Tasks submitted with equal priority run in FIFO order.  Worker threads
+    adopt the priority the task was submitted with (via
+    :func:`set_thread_priority`), reproducing the Cactus/J behaviour that
+    event handlers run at the raiser's priority.
+
+    The pool is unbounded in queue size and fixed in worker count; workers
+    are daemon threads so an un-shutdown pool never blocks interpreter exit.
+    """
+
+    def __init__(self, workers: int = 8, name: str = "cactus-pool"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._name = name
+        self._cond = threading.Condition()
+        # Heap entries: (-priority, seq, fn, args, future, priority)
+        self._queue: list[tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int | None = None,
+        **kwargs: Any,
+    ) -> ResultFuture:
+        """Queue ``fn(*args, **kwargs)``; return a future for its result.
+
+        ``priority`` defaults to the submitting thread's current priority
+        (priority preservation across event raises).
+        """
+        if priority is None:
+            priority = current_thread_priority()
+        future = ResultFuture()
+        task = (fn, args, kwargs, future, priority)
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError(f"executor {self._name} is shut down")
+            heapq.heappush(self._queue, (-priority, next(self._seq), task))
+            self._cond.notify()
+        return future
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown and not self._queue:
+                    return
+                _, _, task = heapq.heappop(self._queue)
+            fn, args, kwargs, future, priority = task
+            set_thread_priority(priority)
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - ferried to the future
+                future.set_exception(exc)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for queued tasks to drain."""
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        if wait:
+            for t in self._threads:
+                t.join(timeout=5.0)
+
+    @property
+    def pending(self) -> int:
+        """Number of tasks queued but not yet started."""
+        with self._cond:
+            return len(self._queue)

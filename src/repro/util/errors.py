@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single except clause while
+still being able to discriminate (communication vs. marshalling vs. QoS
+policy failures).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CommunicationError(ReproError):
+    """A message could not be delivered (endpoint down, partition, loss)."""
+
+
+class TimeoutError_(CommunicationError):
+    """A blocking operation did not complete within its deadline.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`TimeoutError`; it subclasses :class:`CommunicationError` because
+    callers treat timeouts as a delivery failure.
+    """
+
+
+class MarshalError(ReproError):
+    """A value could not be marshalled or unmarshalled."""
+
+
+class BindError(ReproError):
+    """A client could not bind to a named server object."""
+
+
+class InvocationError(ReproError):
+    """A remote invocation failed at the application level.
+
+    Carries the remote exception's type name and message so that the client
+    side can re-raise something meaningful without shipping code.
+    """
+
+    def __init__(self, type_name: str, message: str):
+        super().__init__(f"{type_name}: {message}")
+        self.type_name = type_name
+        self.message = message
+
+
+class ServerFailedError(CommunicationError):
+    """The target server (or every replica) has crashed."""
+
+
+class AccessDeniedError(ReproError):
+    """The access-control micro-protocol rejected the request."""
+
+
+class IntegrityError(ReproError):
+    """A message signature did not verify."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid micro-protocol configuration was requested."""

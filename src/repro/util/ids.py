@@ -1,0 +1,45 @@
+"""Unique identifier generation.
+
+Request ids, connection ids and event-occurrence ids all come from here.
+Ids are process-unique, monotonically increasing, and cheap; where global
+uniqueness matters (request ids crossing hosts in the simulated network) the
+id is qualified with a caller-supplied namespace string.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Thread-safe monotonically increasing integer ids with a namespace.
+
+    >>> gen = IdGenerator("client-1")
+    >>> gen.next_int()
+    1
+    >>> gen.next_id()
+    'client-1:2'
+    """
+
+    def __init__(self, namespace: str = ""):
+        self.namespace = namespace
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def next_int(self) -> int:
+        """Return the next integer id."""
+        with self._lock:
+            return next(self._counter)
+
+    def next_id(self) -> str:
+        """Return the next id qualified with this generator's namespace."""
+        return f"{self.namespace}:{self.next_int()}"
+
+
+_global = IdGenerator("g")
+
+
+def unique_id(prefix: str = "id") -> str:
+    """Return a process-unique string id with the given prefix."""
+    return f"{prefix}-{_global.next_int()}"

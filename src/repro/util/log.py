@@ -1,0 +1,24 @@
+"""Logging conventions for the repro library.
+
+Everything logs under the ``repro`` namespace with component children
+(``repro.qos.passive``, ``repro.net`` …), all silent by default (library
+etiquette: a ``NullHandler`` on the root of the namespace).  Applications
+opt in with ordinary :mod:`logging` configuration::
+
+    logging.getLogger("repro").setLevel(logging.INFO)
+    logging.basicConfig()
+
+Conventions: WARNING for fault handling the operator should know about
+(failovers, elections, rejected requests); DEBUG for per-request detail.
+"""
+
+from __future__ import annotations
+
+import logging
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def get_logger(component: str) -> logging.Logger:
+    """A logger under the library namespace, e.g. ``get_logger("qos.passive")``."""
+    return logging.getLogger(f"repro.{component}")

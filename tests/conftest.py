@@ -1,0 +1,48 @@
+"""Shared fixtures: networks, compiled IDL, and CQoS deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+from repro.core.service import CqosDeployment
+from repro.net.memory import InMemoryNetwork
+
+
+@pytest.fixture
+def network():
+    """A fresh zero-latency in-memory network."""
+    net = InMemoryNetwork()
+    yield net
+    net.close()
+
+
+@pytest.fixture
+def compiled_bank():
+    return bank_compiled()
+
+
+@pytest.fixture
+def bank_iface():
+    return bank_interface()
+
+
+@pytest.fixture(params=["corba", "rmi", "http"])
+def platform(request):
+    """Run the test once per middleware platform (including the HTTP
+    platform of the paper's §2.1 generality claim)."""
+    return request.param
+
+
+@pytest.fixture
+def deployment(network, platform, compiled_bank):
+    dep = CqosDeployment(
+        network, platform=platform, compiled=compiled_bank, request_timeout=10.0
+    )
+    yield dep
+    dep.close()
+
+
+def make_account(**kwargs):
+    """Servant factory usable as add_replicas' servant_factory."""
+    return lambda: BankAccount(**kwargs)

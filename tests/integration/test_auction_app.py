@@ -1,0 +1,121 @@
+"""Integration tests for the auction application over CQoS.
+
+The auction servant's order-sensitivity makes it the sharpest correctness
+probe for total ordering: without it, concurrent bidding wars genuinely
+diverge replicas; with it, they must not.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.auction import AuctionHouse, auction_compiled, auction_interface
+from repro.core.request import Request
+from repro.core.service import CqosDeployment
+from repro.qos import ActiveRep, FirstSuccess, TotalOrder
+
+
+@pytest.fixture
+def auction_deployment(network, platform):
+    deployment = CqosDeployment(
+        network, platform=platform, compiled=auction_compiled(), request_timeout=20.0
+    )
+    yield deployment
+    deployment.close()
+
+
+def probe(skeleton, operation, *args):
+    return skeleton._platform.invoke_servant(Request("house", operation, list(args)))
+
+
+class TestAuctionSemantics:
+    def test_bidding_rules(self, auction_deployment):
+        auction_deployment.add_replicas("house", AuctionHouse, auction_interface())
+        stub = auction_deployment.client_stub("house", auction_interface())
+        stub.open_auction("vase", 50.0)
+        exceptions = auction_compiled().exceptions
+
+        with pytest.raises(exceptions["auction::BidTooLow"]) as excinfo:
+            stub.place_bid("vase", "alice", 10.0)
+        assert excinfo.value.minimum == 50.0
+
+        assert stub.place_bid("vase", "alice", 50.0) == 50.0
+        with pytest.raises(exceptions["auction::BidTooLow"]):
+            stub.place_bid("vase", "bob", 50.5)  # below increment
+        assert stub.place_bid("vase", "bob", 51.0) == 51.0
+        assert stub.leader("vase") == ["bob", 51.0]
+
+        assert stub.close_auction("vase") == "bob"
+        with pytest.raises(exceptions["auction::AuctionClosed"]):
+            stub.place_bid("vase", "carol", 99.0)
+        with pytest.raises(exceptions["auction::NoSuchAuction"]):
+            stub.leader("ghost")
+        assert stub.auctions_open() == 0
+
+    def test_history_records_accepted_bids_only(self, auction_deployment):
+        auction_deployment.add_replicas("house", AuctionHouse, auction_interface())
+        stub = auction_deployment.client_stub("house", auction_interface())
+        stub.open_auction("book", 1.0)
+        stub.place_bid("book", "a", 1.0)
+        try:
+            stub.place_bid("book", "b", 1.2)  # below increment: rejected
+        except Exception:
+            pass
+        stub.place_bid("book", "b", 3.0)
+        history = stub.bid_history("book")
+        assert [h["bidder"] for h in history] == ["a", "b"]
+
+
+class TestAuctionReplication:
+    def test_concurrent_bidders_converge_with_total_order(self, auction_deployment):
+        skeletons = auction_deployment.add_replicas(
+            "house",
+            AuctionHouse,
+            auction_interface(),
+            replicas=3,
+            server_micro_protocols=lambda: [TotalOrder()],
+        )
+        admin = auction_deployment.client_stub(
+            "house",
+            auction_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()],
+        )
+        admin.open_auction("lot", 10.0)
+        errors = []
+
+        def bidder(name, start):
+            try:
+                stub = auction_deployment.client_stub(
+                    "house",
+                    auction_interface(),
+                    client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()],
+                )
+                for i in range(8):
+                    try:
+                        stub.place_bid("lot", name, start + i * 5.0)
+                    except Exception as exc:  # noqa: BLE001
+                        if type(exc).__name__ != "BidTooLow":
+                            raise
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=bidder, args=(name, base))
+            for name, base in (("alice", 10.0), ("bob", 12.0), ("carol", 11.0))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        assert not errors, errors[:3]
+
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            histories = [probe(s, "bid_history", "lot") for s in skeletons]
+            if histories[0] == histories[1] == histories[2]:
+                break
+            time.sleep(0.02)
+        assert histories[0] == histories[1] == histories[2]
+        leaders = {tuple(probe(s, "leader", "lot") or ()) for s in skeletons}
+        assert len(leaders) == 1

@@ -1,0 +1,125 @@
+"""Figure 3 reproduction: the observed event causal graph.
+
+The paper's Figure 3 draws arrows between the Cactus client/server events
+("an arrow from ev1 to ev2 indicates that some micro-protocol that
+processes ev1 raises ev2").  We trace real invocations and check that the
+observed raise-edges are exactly the figure's edges.
+"""
+
+import threading
+import time
+
+from repro.apps.bank import BankAccount, bank_interface
+from repro.core.events import (
+    EV_INVOKE_FAILURE,
+    EV_INVOKE_RETURN,
+    EV_INVOKE_SUCCESS,
+    EV_NEW_REQUEST,
+    EV_NEW_SERVER_REQUEST,
+    EV_READY_TO_INVOKE,
+    EV_READY_TO_SEND,
+    EV_REQUEST_RETURNED,
+    FIGURE3_CLIENT_EDGES,
+    FIGURE3_SERVER_EDGES,
+)
+from repro.qos import QueuedSched
+from repro.qos.timeliness import HIGH_PRIORITY, LOW_PRIORITY
+
+
+def identity_policy(request):
+    return HIGH_PRIORITY if request.client_id.startswith("high") else LOW_PRIORITY
+
+
+class TestFigure3:
+    def test_base_configuration_edges(self, deployment):
+        """Base micro-protocols exercise all Figure 3 edges except the
+        requestReturned edge (raised only by the differentiation protocols)
+        and the failure edge (no failures occur)."""
+        skeletons = deployment.add_replicas("acct", BankAccount, bank_interface())
+        stub = deployment.client_stub("acct", bank_interface())
+        client = stub.cactus_client
+        server = skeletons[0].cactus_server
+        client.enable_tracing()
+        server.enable_tracing()
+        stub.set_balance(5.0)
+        stub.get_balance()
+        assert client.trace_edges() == {
+            (EV_NEW_REQUEST, EV_READY_TO_SEND),
+            (EV_READY_TO_SEND, EV_INVOKE_SUCCESS),
+        }
+        assert server.trace_edges() == {
+            (EV_NEW_SERVER_REQUEST, EV_READY_TO_INVOKE),
+            (EV_READY_TO_INVOKE, EV_INVOKE_RETURN),
+        }
+
+    def test_failure_edge(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface())
+        stub = deployment.client_stub("acct", bank_interface())
+        client = stub.cactus_client
+        stub.get_balance()  # bind first
+        client.enable_tracing()
+        deployment.crash_replica("acct", 1)
+        try:
+            stub.get_balance()
+        except Exception:  # noqa: BLE001 - the failure is the point
+            pass
+        assert (EV_READY_TO_SEND, EV_INVOKE_FAILURE) in client.trace_edges()
+
+    def test_full_figure3_edge_set(self, deployment):
+        """With QueuedSched installed, every Figure 3 edge is observable.
+
+        The requestReturned edge needs a queued low-priority request being
+        woken by a completing high-priority one.
+        """
+        gate = threading.Event()
+        entered = threading.Event()
+
+        class SlowAccount(BankAccount):
+            def owner(self):
+                entered.set()
+                gate.wait(10.0)
+                return super().owner()
+
+        skeletons = deployment.add_replicas(
+            "acct",
+            SlowAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [QueuedSched()],
+            priority_policy=identity_policy,
+        )
+        server = skeletons[0].cactus_server
+        high = deployment.client_stub("acct", bank_interface(), client_id="high-1")
+        low = deployment.client_stub("acct", bank_interface(), client_id="low-1")
+        client = low.cactus_client
+
+        client.enable_tracing()
+        server.enable_tracing()
+
+        high_thread = threading.Thread(target=high.owner)
+        high_thread.start()
+        assert entered.wait(10.0)
+        low_thread = threading.Thread(target=low.get_balance)
+        low_thread.start()
+        time.sleep(0.2)  # let the low request reach the queue
+        gate.set()
+        high_thread.join(10.0)
+        low_thread.join(10.0)
+
+        observed_client = client.trace_edges()
+        observed_server = server.trace_edges()
+        expected_client = FIGURE3_CLIENT_EDGES - {(EV_READY_TO_SEND, EV_INVOKE_FAILURE)}
+        assert expected_client <= observed_client
+        assert FIGURE3_SERVER_EDGES <= observed_server
+        # And nothing outside the figure's vocabulary appears.
+        figure_events = {
+            EV_NEW_REQUEST,
+            EV_READY_TO_SEND,
+            EV_INVOKE_SUCCESS,
+            EV_INVOKE_FAILURE,
+            EV_NEW_SERVER_REQUEST,
+            EV_READY_TO_INVOKE,
+            EV_INVOKE_RETURN,
+            EV_REQUEST_RETURNED,
+        }
+        for src, dst in observed_client | observed_server:
+            assert src in figure_events and dst in figure_events

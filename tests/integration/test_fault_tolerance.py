@@ -1,0 +1,319 @@
+"""Integration tests for the fault-tolerance micro-protocols (§3.2)."""
+
+import threading
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+from repro.qos import (
+    ActiveRep,
+    FirstSuccess,
+    MajorityVote,
+    PassiveRep,
+    PassiveRepServer,
+    TotalOrder,
+)
+from repro.util.errors import ReproError, ServerFailedError
+
+
+class TestActiveRep:
+    def test_all_replicas_execute(self, deployment):
+        skeletons = deployment.add_replicas(
+            "acct", BankAccount, bank_interface(), replicas=3
+        )
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=lambda: [ActiveRep()]
+        )
+        stub.set_balance(50.0)
+        # Every replica's servant must have applied the update.
+        for skeleton in skeletons:
+            balance = skeleton._platform.invoke_servant(
+                _probe_request("get_balance")
+            )
+            assert balance == 50.0
+
+    def test_survives_minority_crash(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()],
+        )
+        stub.set_balance(5.0)
+        deployment.crash_replica("acct", 2)
+        assert stub.get_balance() == 5.0
+
+    def test_all_crashed_fails(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=2)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()],
+        )
+        stub.get_balance()
+        deployment.crash_replica("acct", 1)
+        deployment.crash_replica("acct", 2)
+        with pytest.raises(ServerFailedError):
+            stub.get_balance()
+
+
+class TestAcceptance:
+    def test_first_success_skips_failed_replica(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()],
+        )
+        deployment.crash_replica("acct", 1)
+        assert stub.get_balance() == 0.0
+
+    def test_majority_vote_agrees(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), MajorityVote()],
+        )
+        stub.set_balance(9.0)
+        assert stub.get_balance() == 9.0
+
+    def test_majority_vote_tolerates_one_crash(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), MajorityVote()],
+        )
+        stub.set_balance(4.0)
+        deployment.crash_replica("acct", 3)
+        assert stub.get_balance() == 4.0
+
+    def test_majority_vote_fails_without_majority(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), MajorityVote()],
+        )
+        stub.get_balance()
+        deployment.crash_replica("acct", 1)
+        deployment.crash_replica("acct", 2)
+        with pytest.raises(ReproError):
+            stub.get_balance()
+
+    def test_majority_vote_on_application_exception(self, deployment):
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [ActiveRep(), MajorityVote()],
+        )
+        exc_cls = bank_compiled().exceptions["bank::InsufficientFunds"]
+        with pytest.raises(exc_cls):
+            stub.withdraw(1.0)  # all replicas raise identically -> majority
+
+
+class TestPassiveRep:
+    @staticmethod
+    def passive_client():
+        return [PassiveRep()]
+
+    @staticmethod
+    def passive_server():
+        return [PassiveRepServer()]
+
+    def test_backups_stay_consistent(self, deployment):
+        skeletons = deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=3,
+            server_micro_protocols=self.passive_server,
+        )
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=self.passive_client
+        )
+        stub.set_balance(60.0)
+        stub.deposit(6.0)
+        for skeleton in skeletons:
+            balance = skeleton._platform.invoke_servant(_probe_request("get_balance"))
+            assert balance == 66.0
+
+    def test_failover_to_backup(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=3,
+            server_micro_protocols=self.passive_server,
+        )
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=self.passive_client
+        )
+        stub.set_balance(30.0)
+        deployment.crash_replica("acct", 1)
+        assert stub.get_balance() == 30.0  # served by replica 2
+        stub.deposit(1.0)
+        deployment.crash_replica("acct", 2)
+        assert stub.get_balance() == 31.0  # served by replica 3
+
+    def test_all_replicas_failed(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=2,
+            server_micro_protocols=self.passive_server,
+        )
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=self.passive_client
+        )
+        stub.get_balance()
+        deployment.crash_replica("acct", 1)
+        deployment.crash_replica("acct", 2)
+        with pytest.raises(ServerFailedError):
+            stub.get_balance()
+
+    def test_duplicate_suppression(self, deployment, platform):
+        """A forwarded request re-sent to a backup must not double-apply."""
+        skeletons = deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=2,
+            server_micro_protocols=self.passive_server,
+        )
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=self.passive_client
+        )
+        stub.deposit(10.0)
+        # Manually replay the same request at the backup via the control
+        # plane: the duplicate-suppression cache must answer from memory.
+        backup = skeletons[1].cactus_server
+        primary_platform = skeletons[0]._platform
+        from repro.core.request import PB_FORWARDED, Request
+
+        wire = {
+            "request_id": _last_request_id(backup),
+            "object_id": "acct",
+            "operation": "deposit",
+            "params": [10.0],
+            "piggyback": {PB_FORWARDED: True},
+        }
+        primary_platform.peer_invoke(2, "forward", wire)
+        balance = skeletons[1]._platform.invoke_servant(_probe_request("get_balance"))
+        assert balance == 10.0  # not 20
+
+
+class TestTotalOrder:
+    def test_replicas_converge_under_concurrent_clients(self, deployment):
+        skeletons = deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=3,
+            server_micro_protocols=lambda: [TotalOrder()],
+        )
+        errors = []
+
+        def worker(seed):
+            try:
+                stub = deployment.client_stub(
+                    "acct",
+                    bank_interface(),
+                    client_micro_protocols=lambda: [ActiveRep()],
+                )
+                for i in range(5):
+                    stub.set_balance(float(seed * 100 + i))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # With a total order, all replicas end in the same state even though
+        # set_balance is not commutative.  (The client returns on the first
+        # reply, so wait for the slower replicas to drain.)
+        balances = _quiesce(
+            skeletons, lambda s: s._platform.invoke_servant(_probe_request("get_balance"))
+        )
+        assert len(set(balances)) == 1, balances
+
+    def test_histories_identical_across_replicas(self, deployment):
+        skeletons = deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=3,
+            server_micro_protocols=lambda: [TotalOrder()],
+        )
+        threads = []
+        for seed in range(2):
+
+            def worker(seed=seed):
+                stub = deployment.client_stub(
+                    "acct",
+                    bank_interface(),
+                    client_micro_protocols=lambda: [ActiveRep()],
+                )
+                for i in range(4):
+                    stub.deposit(float(seed * 10 + i))
+
+            threads.append(threading.Thread(target=worker))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        histories = _quiesce(
+            skeletons,
+            lambda s: s._platform.invoke_servant(_probe_request("history", 100)),
+        )
+        assert histories[0] == histories[1] == histories[2]
+
+    def test_without_total_order_divergence_is_possible(self, deployment):
+        """Control experiment: plain ActiveRep gives no ordering guarantee.
+
+        We can't assert divergence (it's a race), only that the mechanism
+        doesn't reject the configuration and the system still answers.
+        """
+        deployment.add_replicas("acct", BankAccount, bank_interface(), replicas=3)
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=lambda: [ActiveRep()]
+        )
+        stub.set_balance(1.0)
+        assert stub.get_balance() == 1.0
+
+
+def _quiesce(skeletons, probe, timeout=10.0):
+    """Poll ``probe`` per replica until the answers agree (or timeout).
+
+    The first-reply acceptance semantics let the client finish while slower
+    replicas are still executing, so convergence checks must wait.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    values = [probe(s) for s in skeletons]
+    while time.monotonic() < deadline:
+        if all(v == values[0] for v in values):
+            return values
+        time.sleep(0.02)
+        values = [probe(s) for s in skeletons]
+    return values
+
+
+def _probe_request(operation, *args):
+    from repro.core.request import Request
+
+    return Request("acct", operation, list(args))
+
+
+def _last_request_id(cactus_server):
+    from repro.qos.fault_tolerance.passive import SHARED_SEEN
+
+    seen = cactus_server.shared.get(SHARED_SEEN)
+    return next(reversed(seen))

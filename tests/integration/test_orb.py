@@ -1,0 +1,214 @@
+"""Integration tests for the CORBA-like ORB (no CQoS involved)."""
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+from repro.net.memory import InMemoryNetwork
+from repro.orb import (
+    DynamicImplementation,
+    Orb,
+    make_static_stub_class,
+    start_naming_service,
+)
+from repro.orb.naming import naming_client
+from repro.util.errors import BindError, InvocationError
+
+
+@pytest.fixture
+def world():
+    net = InMemoryNetwork()
+    compiled = bank_compiled()
+    naming_orb = Orb(net, "naming", compiled).start()
+    start_naming_service(naming_orb)
+    server_orb = Orb(net, "server", compiled).start()
+    client_orb = Orb(net, "client", compiled)
+    yield net, server_orb, client_orb
+    for orb in (naming_orb, server_orb, client_orb):
+        orb.shutdown()
+    net.close()
+
+
+def activate_account(server_orb, balance=0.0):
+    poa = server_orb.create_poa("bank_poa")
+    return poa.activate_object(
+        "acct", BankAccount(balance=balance), interface=bank_interface()
+    )
+
+
+class TestStaticPath:
+    def test_stub_invocations(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb, balance=10.0)
+        stub = make_static_stub_class(bank_interface())(client_orb, ior)
+        assert stub.get_balance() == 10.0
+        stub.set_balance(25.0)
+        assert stub.deposit(5.0) == 30.0
+        assert stub.owner() == "alice"
+
+    def test_user_exception_crosses_wire(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        stub = make_static_stub_class(bank_interface())(client_orb, ior)
+        exc_cls = bank_compiled().exceptions["bank::InsufficientFunds"]
+        with pytest.raises(exc_cls) as excinfo:
+            stub.withdraw(100.0)
+        assert excinfo.value.requested == 100.0
+
+    def test_system_exception_for_bad_types(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        ref = client_orb.get_object(ior)
+        # history() returns a list; passing a bogus arg type dies server-side.
+        with pytest.raises(InvocationError):
+            ref.invoke_op("set_balance", [1, 2, 3])  # wrong arity
+
+    def test_unknown_object_key(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        from repro.orb.ior import IOR
+
+        bogus = IOR(ior.type_id, ior.address, "bank_poa|ghost")
+        with pytest.raises(InvocationError, match="BindError"):
+            client_orb.get_object(bogus).invoke_op("get_balance", [])
+
+
+class TestDii:
+    def test_dii_invocation(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb, balance=3.0)
+        ref = client_orb.get_object(ior)
+        request = ref._create_request("deposit")
+        request.add_arg(2.0)
+        request.invoke()
+        assert request.return_value() == 5.0
+
+    def test_dii_stores_exception(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        ref = client_orb.get_object(ior)
+        request = ref._create_request("withdraw").add_arg(9.9)
+        request.invoke()
+        assert request.exception() is not None
+        with pytest.raises(Exception):
+            request.return_value()
+
+    def test_dii_conformance_check(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        ref = client_orb.get_object(ior)
+        from repro.util.errors import MarshalError
+
+        request = ref._create_request("set_balance").add_arg("not a double")
+        with pytest.raises(MarshalError):
+            request.invoke()
+
+
+class TestDsi:
+    def test_dynamic_servant_sees_everything(self, world):
+        _, server_orb, client_orb = world
+
+        class Sink(DynamicImplementation):
+            def __init__(self):
+                self.seen = []
+
+            def invoke(self, server_request):
+                self.seen.append(
+                    (server_request.operation, server_request.arguments(), server_request.context())
+                )
+                server_request.set_result("ack")
+
+        sink = Sink()
+        poa = server_orb.create_poa("dsi_poa")
+        ior = poa.activate_object("sink", sink)
+        ref = client_orb.get_object(ior)
+        assert ref.invoke_op("anything_at_all", [1, 2], {"ctx": True}) == "ack"
+        assert sink.seen == [("anything_at_all", [1, 2], {"ctx": True})]
+
+    def test_incomplete_dsi_request_is_error(self, world):
+        _, server_orb, client_orb = world
+
+        class Lazy(DynamicImplementation):
+            def invoke(self, server_request):
+                pass  # never completes
+
+        poa = server_orb.create_poa("lazy_poa")
+        ior = poa.activate_object("lazy", Lazy())
+        with pytest.raises(InvocationError, match="IncompleteRequest"):
+            client_orb.get_object(ior).invoke_op("x", [])
+
+
+class TestNaming:
+    def test_bind_resolve_unbind(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        naming = naming_client(client_orb)
+        naming.bind("bank/acct", server_orb.object_to_string(ior))
+        resolved = client_orb.string_to_object(naming.resolve("bank/acct"))
+        assert resolved.invoke_op("get_balance", []) == 0.0
+        assert naming.list_names("bank/") == ["bank/acct"]
+        naming.unbind("bank/acct")
+        assert naming.list_names("") == []
+
+    def test_double_bind_rejected(self, world):
+        _, server_orb, client_orb = world
+        ior_text = server_orb.object_to_string(activate_account(server_orb))
+        naming = naming_client(client_orb)
+        naming.bind("x", ior_text)
+        from repro.orb.naming import naming_idl
+
+        with pytest.raises(naming_idl().exceptions["cos::AlreadyBound"]):
+            naming.bind("x", ior_text)
+        naming.rebind("x", ior_text)  # rebind always allowed
+
+    def test_resolve_missing(self, world):
+        _, _, client_orb = world
+        from repro.orb.naming import naming_idl
+
+        with pytest.raises(naming_idl().exceptions["cos::NotFound"]):
+            naming_client(client_orb).resolve("ghost")
+
+
+class TestLifecycle:
+    def test_oneway_does_not_block_on_servant(self, world):
+        import threading
+        import time
+
+        _, server_orb, client_orb = world
+        gate = threading.Event()
+
+        class Slow(DynamicImplementation):
+            def invoke(self, server_request):
+                gate.wait(5.0)
+                server_request.set_result(None)
+
+        poa = server_orb.create_poa("slow_poa")
+        ior = poa.activate_object("slow", Slow())
+        ref = client_orb.get_object(ior)
+        start = time.monotonic()
+        client_orb.invoke(ior, "fire", [], {}, response_expected=False)
+        elapsed = time.monotonic() - start
+        gate.set()
+        assert elapsed < 1.0
+
+    def test_deactivate(self, world):
+        _, server_orb, client_orb = world
+        ior = activate_account(server_orb)
+        poa = server_orb.find_poa("bank_poa")
+        poa.deactivate_object("acct")
+        with pytest.raises(InvocationError):
+            client_orb.get_object(ior).invoke_op("get_balance", [])
+
+    def test_duplicate_poa_rejected(self, world):
+        _, server_orb, _ = world
+        server_orb.create_poa("p")
+        with pytest.raises(Exception):
+            server_orb.create_poa("p")
+
+    def test_duplicate_activation_rejected(self, world):
+        _, server_orb, _ = world
+        activate_account(server_orb)
+        poa = server_orb.find_poa("bank_poa")
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            poa.activate_object("acct", BankAccount(), interface=bank_interface())

@@ -1,0 +1,128 @@
+"""Integration tests for the RMI-like platform (no CQoS involved)."""
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+from repro.net.memory import InMemoryNetwork
+from repro.rmi import (
+    RmiRuntime,
+    make_rmi_stub_class,
+    registry_client,
+    start_registry,
+)
+from repro.util.errors import BindError, CommunicationError, InvocationError
+
+
+@pytest.fixture
+def world():
+    net = InMemoryNetwork()
+    compiled = bank_compiled()
+    registry_runtime = RmiRuntime(net, "rmi-registry", compiled).start()
+    start_registry(registry_runtime)
+    server = RmiRuntime(net, "server", compiled).start()
+    client = RmiRuntime(net, "client", compiled)
+    yield net, server, client
+    for runtime in (registry_runtime, server, client):
+        runtime.shutdown()
+    net.close()
+
+
+class TestTypedExport:
+    def test_stub_invocations(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(balance=5.0), bank_interface())
+        stub = make_rmi_stub_class(bank_interface())(client, ref)
+        assert stub.get_balance() == 5.0
+        assert stub.deposit(5.0) == 10.0
+
+    def test_remote_exception(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        stub = make_rmi_stub_class(bank_interface())(client, ref)
+        with pytest.raises(bank_compiled().exceptions["bank::InsufficientFunds"]):
+            stub.withdraw(1.0)
+
+    def test_unknown_method(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        with pytest.raises(InvocationError):
+            client.call(ref, "no_such_method", [])
+
+    def test_unknown_object(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        ref.object_id = "ghost"
+        with pytest.raises(InvocationError, match="BindError"):
+            client.call(ref, "get_balance", [])
+
+    def test_unexport(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        server.unexport(ref)
+        with pytest.raises(InvocationError):
+            client.call(ref, "get_balance", [])
+
+    def test_duplicate_object_id_rejected(self, world):
+        _, server, _ = world
+        server.export(BankAccount(), bank_interface(), object_id="same")
+        with pytest.raises(BindError):
+            server.export(BankAccount(), bank_interface(), object_id="same")
+
+
+class TestGenericExport:
+    def test_generic_invoke_with_context(self, world):
+        _, server, client = world
+
+        class Generic:
+            def invoke(self, method, arguments, context):
+                return {"m": method, "a": arguments, "c": context}
+
+        ref = server.export_generic(Generic())
+        result = client.call(ref, "op", [1], context={"prio": 8})
+        assert result == {"m": "op", "a": [1], "c": {"prio": 8}}
+
+    def test_non_generic_object_rejected(self, world):
+        _, server, _ = world
+        with pytest.raises(BindError, match="invoke"):
+            server.export_generic(object())
+
+
+class TestRegistry:
+    def test_bind_lookup_list_unbind(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        registry = registry_client(client)
+        registry.bind("bank/1", ref)
+        assert registry.lookup("bank/1") == ref
+        assert registry.list("bank/") == ["bank/1"]
+        registry.unbind("bank/1")
+        with pytest.raises(InvocationError):
+            registry.lookup("bank/1")
+
+    def test_double_bind_rejected_rebind_allowed(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        registry = registry_client(client)
+        registry.bind("n", ref)
+        with pytest.raises(InvocationError):
+            registry.bind("n", ref)
+        registry.rebind("n", ref)
+
+    def test_remote_ref_identity_survives_wire(self, world):
+        _, server, client = world
+        ref = server.export(BankAccount(), bank_interface(), object_id="acct-9")
+        registry = registry_client(client)
+        registry.bind("k", ref)
+        looked = registry.lookup("k")
+        assert looked == ref and looked is not ref
+
+
+class TestFailures:
+    def test_crashed_server(self, world):
+        net, server, client = world
+        ref = server.export(BankAccount(), bank_interface())
+        net.crash("server")
+        with pytest.raises(CommunicationError):
+            client.call(ref, "get_balance", [])
+        net.recover("server")
+        assert client.call(ref, "get_balance", []) == 0.0

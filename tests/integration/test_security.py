@@ -1,0 +1,237 @@
+"""Integration tests for the security micro-protocols (§3.3)."""
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_interface
+from repro.qos import (
+    AccessControl,
+    ActiveRep,
+    DesPrivacy,
+    DesPrivacyServer,
+    MajorityVote,
+    SignedIntegrity,
+    SignedIntegrityServer,
+)
+from repro.util.errors import IntegrityError, InvocationError
+
+KEY = "0123456789abcdef"
+OTHER_KEY = "fedcba9876543210"
+
+
+class TestPrivacy:
+    def test_roundtrip(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [DesPrivacyServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [DesPrivacy(key_hex=KEY)],
+        )
+        stub.set_balance(123.5)
+        assert stub.get_balance() == 123.5
+
+    def test_parameters_are_actually_encrypted(self, deployment, network):
+        """Tap the network: the plaintext amount must not appear on the wire."""
+        captured = []
+        original = type(network)._deliver
+
+        def tap(self, source, address, data):
+            captured.append(bytes(data))
+            return original(self, source, address, data)
+
+        type(network)._deliver = tap
+        try:
+            deployment.add_replicas(
+                "acct",
+                BankAccount,
+                bank_interface(),
+                server_micro_protocols=lambda: [DesPrivacyServer(key_hex=KEY)],
+            )
+            stub = deployment.client_stub(
+                "acct",
+                bank_interface(),
+                client_micro_protocols=lambda: [DesPrivacy(key_hex=KEY)],
+            )
+            captured.clear()
+            secret = 31337.25
+            stub.set_balance(secret)
+            import struct
+
+            plain_double = struct.pack(">d", secret)
+            assert not any(plain_double in frame for frame in captured)
+        finally:
+            type(network)._deliver = original
+
+    def test_wrong_server_key_fails(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [DesPrivacyServer(key_hex=OTHER_KEY)],
+        )
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [DesPrivacy(key_hex=KEY)],
+        )
+        with pytest.raises(Exception):
+            stub.set_balance(1.0)
+
+    def test_privacy_with_replication(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=3,
+            server_micro_protocols=lambda: [DesPrivacyServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [
+                ActiveRep(),
+                MajorityVote(),
+                DesPrivacy(key_hex=KEY),
+            ],
+        )
+        stub.set_balance(9.75)
+        assert stub.get_balance() == 9.75
+
+    def test_unencrypted_client_against_privacy_server(self, deployment):
+        """A client without DesPrivacy still works: the flag is absent."""
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [DesPrivacyServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub("acct", bank_interface())
+        stub.set_balance(2.0)
+        assert stub.get_balance() == 2.0
+
+
+class TestIntegrity:
+    def test_roundtrip(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [SignedIntegrityServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [SignedIntegrity(key_hex=KEY)],
+        )
+        stub.set_balance(7.0)
+        assert stub.get_balance() == 7.0
+
+    def test_unsigned_request_rejected(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [SignedIntegrityServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub("acct", bank_interface())  # no signing
+        with pytest.raises((IntegrityError, InvocationError)):
+            stub.set_balance(1.0)
+
+    def test_wrong_key_rejected(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [SignedIntegrityServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [SignedIntegrity(key_hex=OTHER_KEY)],
+        )
+        with pytest.raises((IntegrityError, InvocationError)):
+            stub.set_balance(1.0)
+
+    def test_rejected_before_servant_runs(self, deployment):
+        account = BankAccount()
+        deployment.add_replicas(
+            "acct",
+            lambda: account,
+            bank_interface(),
+            server_micro_protocols=lambda: [SignedIntegrityServer(key_hex=KEY)],
+        )
+        stub = deployment.client_stub("acct", bank_interface())
+        with pytest.raises((IntegrityError, InvocationError)):
+            stub.set_balance(999.0)
+        assert account.get_balance() == 0.0
+
+
+class TestPrivacyPlusIntegrity:
+    def test_layering(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [
+                DesPrivacyServer(key_hex=KEY),
+                SignedIntegrityServer(key_hex=KEY),
+            ],
+        )
+        stub = deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda: [
+                DesPrivacy(key_hex=KEY),
+                SignedIntegrity(key_hex=KEY),
+            ],
+        )
+        stub.set_balance(55.5)
+        assert stub.get_balance() == 55.5
+        assert stub.deposit(4.5) == 60.0
+
+
+class TestAccessControl:
+    def acl_server(self):
+        return [
+            AccessControl(
+                acl={"set_balance": ["boss"], "withdraw": ["boss", "teller"]},
+                default_allow=True,
+            )
+        ]
+
+    def test_allowed_client(self, deployment):
+        deployment.add_replicas(
+            "acct", BankAccount, bank_interface(), server_micro_protocols=self.acl_server
+        )
+        stub = deployment.client_stub("acct", bank_interface(), client_id="boss")
+        stub.set_balance(10.0)
+        assert stub.get_balance() == 10.0
+
+    def test_denied_client(self, deployment):
+        account = BankAccount()
+        deployment.add_replicas(
+            "acct",
+            lambda: account,
+            bank_interface(),
+            server_micro_protocols=self.acl_server,
+        )
+        stub = deployment.client_stub("acct", bank_interface(), client_id="teller")
+        with pytest.raises(InvocationError, match="AccessDenied"):
+            stub.set_balance(10.0)
+        assert account.get_balance() == 0.0  # servant untouched
+        assert stub.get_balance() == 0.0  # default-allow operation still works
+
+    def test_default_deny(self, deployment):
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [AccessControl(default_allow=False)],
+        )
+        stub = deployment.client_stub("acct", bank_interface(), client_id="anyone")
+        with pytest.raises(InvocationError, match="AccessDenied"):
+            stub.get_balance()

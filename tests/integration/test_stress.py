@@ -1,0 +1,130 @@
+"""Stress: sustained mixed workloads across composed attributes.
+
+Shorter than a real soak but long enough to shake out ordering races,
+pool exhaustion, and cleanup leaks: concurrent clients, full attribute
+stack, and a mid-run replica crash.
+"""
+
+import threading
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+from repro.qos import (
+    ActiveRep,
+    DesPrivacy,
+    DesPrivacyServer,
+    FirstSuccess,
+    SignedIntegrity,
+    SignedIntegrityServer,
+    TotalOrder,
+)
+from repro.core.request import Request
+
+KEY = "0123456789abcdef"
+
+
+def security_client():
+    return [DesPrivacy(key_hex=KEY), SignedIntegrity(key_hex=KEY)]
+
+
+class TestStress:
+    def test_sustained_full_stack_load(self, deployment):
+        """3 replicas x total order x privacy x integrity, 4 concurrent
+        clients, 25 operations each; replicas must converge."""
+        skeletons = deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=3,
+            server_micro_protocols=lambda: [
+                TotalOrder(),
+                DesPrivacyServer(key_hex=KEY),
+                SignedIntegrityServer(key_hex=KEY),
+            ],
+        )
+        errors = []
+
+        def worker(seed):
+            try:
+                stub = deployment.client_stub(
+                    "acct",
+                    bank_interface(),
+                    client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()]
+                    + security_client(),
+                )
+                for i in range(25):
+                    if i % 5 == 0:
+                        stub.set_balance(float(seed * 1000 + i))
+                    else:
+                        stub.deposit(1.0)
+                    stub.get_balance()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors[:3]
+
+        import time
+
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            balances = [
+                s._platform.invoke_servant(Request("acct", "get_balance", []))
+                for s in skeletons
+            ]
+            if len(set(balances)) == 1:
+                break
+            time.sleep(0.05)
+        assert len(set(balances)) == 1, balances
+
+    def test_crash_during_load(self, deployment):
+        """A replica dies mid-run; FirstSuccess clients never notice."""
+        deployment.add_replicas(
+            "acct", BankAccount, bank_interface(), replicas=3
+        )
+        errors = []
+        progressed = threading.Event()
+
+        def worker():
+            try:
+                stub = deployment.client_stub(
+                    "acct",
+                    bank_interface(),
+                    client_micro_protocols=lambda: [ActiveRep(), FirstSuccess()],
+                )
+                for i in range(40):
+                    stub.deposit(1.0)
+                    if i == 10:
+                        progressed.set()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        assert progressed.wait(60)
+        deployment.crash_replica("acct", 2)
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors[:3]
+
+    def test_repeated_deploy_teardown(self, network, platform, compiled_bank):
+        """Deployment construction/destruction must not leak registrations."""
+        from repro.core.service import CqosDeployment
+        from repro.net.memory import InMemoryNetwork
+
+        for _ in range(5):
+            net = InMemoryNetwork()
+            deployment = CqosDeployment(
+                net, platform=platform, compiled=compiled_bank, request_timeout=10.0
+            )
+            deployment.add_replicas("acct", BankAccount, bank_interface())
+            stub = deployment.client_stub("acct", bank_interface())
+            stub.set_balance(1.0)
+            assert stub.get_balance() == 1.0
+            deployment.close()

@@ -1,0 +1,93 @@
+"""Property-based tests: both codecs round-trip arbitrary wire values."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serialization.cdr import cdr_dumps, cdr_loads
+from repro.serialization.jser import jser_dumps, jser_loads
+
+# Finite floats only: NaN breaks equality (covered by explicit tests).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+# Dict keys must be hashable wire values.
+keys = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.text(max_size=20),
+    st.booleans(),
+)
+
+wire_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(keys, children, max_size=5),
+        st.tuples(children, children),
+    ),
+    max_leaves=25,
+)
+
+
+def normalize(value):
+    """Tuples decode as tuples; everything else compares directly."""
+    return value
+
+
+@given(wire_values)
+@settings(max_examples=200)
+def test_cdr_roundtrip(value):
+    assert cdr_loads(cdr_dumps(value)) == value
+
+
+@given(wire_values)
+@settings(max_examples=200)
+def test_jser_roundtrip(value):
+    assert jser_loads(jser_dumps(value)) == value
+
+
+@given(wire_values)
+@settings(max_examples=100)
+def test_codecs_agree_on_equality(value):
+    """Whatever one codec round-trips, the other round-trips identically."""
+    assert cdr_loads(cdr_dumps(value)) == jser_loads(jser_dumps(value))
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+@settings(max_examples=200)
+def test_jser_int64_zigzag(value):
+    assert jser_loads(jser_dumps(value)) == value
+
+
+@given(st.floats())
+@settings(max_examples=200)
+def test_double_bit_exactness(value):
+    decoded_cdr = cdr_loads(cdr_dumps(value))
+    decoded_jser = jser_loads(jser_dumps(value))
+    if math.isnan(value):
+        assert math.isnan(decoded_cdr) and math.isnan(decoded_jser)
+    else:
+        assert decoded_cdr == value and decoded_jser == value
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=100)
+def test_bytes_exactness(value):
+    assert cdr_loads(cdr_dumps(value)) == value
+    assert jser_loads(jser_dumps(value)) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=8))
+@settings(max_examples=50)
+def test_jser_aliasing_preserved(shape):
+    """A list referenced N times decodes to one object referenced N times."""
+    inner = ["shared"]
+    outer = [inner for _ in shape]
+    decoded = jser_loads(jser_dumps(outer))
+    assert all(item is decoded[0] for item in decoded)

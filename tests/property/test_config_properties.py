@@ -1,0 +1,59 @@
+"""Property-based tests for the configuration text format and the builder."""
+
+import keyword
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cactus.config import MicroProtocolSpec, parse_config_text
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,15}", fullmatch=True)
+param_keys = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+# Values that survive the text format's scalar parsing unambiguously.
+param_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.booleans(),
+    st.from_regex(r"[A-Za-z][A-Za-z0-9_\-]{0,10}", fullmatch=True).filter(
+        lambda s: s.lower() not in ("true", "false") and not keyword.iskeyword(s)
+    ),
+)
+
+specs = st.lists(
+    st.builds(
+        MicroProtocolSpec,
+        name=names,
+        params=st.dictionaries(param_keys, param_values, max_size=4),
+    ),
+    max_size=6,
+)
+
+
+def render(spec_list):
+    lines = []
+    for spec in spec_list:
+        params = " ".join(f"{k}={v}" for k, v in spec.params.items())
+        lines.append(f"{spec.name} {params}".strip())
+    return "\n".join(lines)
+
+
+@given(specs)
+@settings(max_examples=200, deadline=None)
+def test_text_format_roundtrip(spec_list):
+    parsed = parse_config_text(render(spec_list))
+    assert parsed == spec_list
+
+
+@given(specs)
+@settings(max_examples=100, deadline=None)
+def test_wire_form_roundtrip(spec_list):
+    rebuilt = [MicroProtocolSpec.from_wire(s.to_wire()) for s in spec_list]
+    assert rebuilt == spec_list
+
+
+@given(specs, st.text(alphabet=" \t", max_size=3), st.text(alphabet="# comment", max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_whitespace_and_comments_ignored(spec_list, pad, comment):
+    text = render(spec_list)
+    noisy = "\n".join(
+        pad + line + ("  #" + comment if comment else "") for line in text.splitlines()
+    )
+    assert parse_config_text(noisy) == spec_list

@@ -1,0 +1,94 @@
+"""Property-based tests for Request completion invariants.
+
+The acceptance micro-protocols rely on completion being atomic first-wins
+under arbitrary interleavings; these properties pin that down harder than
+the unit tests' fixed schedules.
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.request import Reply, Request
+
+
+@given(
+    winners=st.lists(
+        st.one_of(
+            st.tuples(st.just("complete"), st.integers()),
+            st.tuples(st.just("fail"), st.text(max_size=10)),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_exactly_one_completion_wins(winners):
+    """N concurrent completers: exactly one succeeds, and the observed
+    outcome equals that winner's payload."""
+    request = Request("obj", "op", [])
+    barrier = threading.Barrier(len(winners))
+    results = [None] * len(winners)
+
+    def attempt(index, action, payload):
+        barrier.wait()
+        if action == "complete":
+            results[index] = request.complete(payload)
+        else:
+            results[index] = request.fail(ValueError(payload))
+
+    threads = [
+        threading.Thread(target=attempt, args=(i, a, p))
+        for i, (a, p) in enumerate(winners)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+
+    assert sum(1 for r in results if r) == 1
+    winner_index = results.index(True)
+    action, payload = winners[winner_index]
+    if action == "complete":
+        assert request.wait(1.0) == payload
+    else:
+        try:
+            request.wait(1.0)
+            raise AssertionError("expected the winning failure to raise")
+        except ValueError as exc:
+            assert str(exc) == payload
+
+
+@given(
+    servers=st.lists(st.integers(min_value=1, max_value=10), min_size=1, max_size=10, unique=True),
+    failed=st.sets(st.integers(min_value=1, max_value=10)),
+)
+@settings(max_examples=100, deadline=None)
+def test_reply_bookkeeping(servers, failed):
+    request = Request("obj", "op", [])
+    for server in servers:
+        request.add_reply(Reply(server=server, value=server, failed=server in failed))
+    replies = request.replies()
+    assert set(replies) == set(servers)
+    assert request.reply_count() == len(servers)
+    for server in servers:
+        assert replies[server].succeeded == (server not in failed)
+
+
+@given(
+    params=st.lists(
+        st.one_of(st.integers(), st.text(max_size=10), st.floats(allow_nan=False)),
+        max_size=6,
+    ),
+    piggyback=st.dictionaries(st.text(min_size=1, max_size=8), st.integers(), max_size=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_wire_roundtrip_preserves_identity(params, piggyback):
+    request = Request("obj", "op", params, piggyback=piggyback)
+    rebuilt = Request.from_wire(request.to_wire())
+    assert rebuilt.request_id == request.request_id
+    assert rebuilt.get_params() == params
+    assert rebuilt.piggyback == piggyback
+    # The rebuilt request is independent: completing it leaves the original open.
+    rebuilt.complete(1)
+    assert not request.completed

@@ -1,0 +1,126 @@
+"""Unit tests for the QosBuilder configuration tool."""
+
+import pytest
+
+from repro.cactus.config import parse_config_text
+from repro.qos.builder import QosBuilder, QosSpec
+from repro.util.errors import ConfigurationError
+
+KEY = "0123456789abcdef"
+
+
+class TestBuilder:
+    def test_empty_build(self):
+        spec = QosBuilder().build()
+        assert spec.client_specs == [] and spec.server_specs == []
+
+    def test_full_stack(self):
+        spec = (
+            QosBuilder()
+            .fault_tolerance("active", acceptance="vote", total_order=True)
+            .privacy(key_hex=KEY)
+            .integrity(key_hex=KEY)
+            .access_control(acl={"set_balance": ["boss"]})
+            .timeliness("timed", period=0.05, high_rate_threshold=2)
+            .build()
+        )
+        assert [s.name for s in spec.client_specs] == [
+            "ActiveRep",
+            "MajorityVote",
+            "DesPrivacy",
+            "SignedIntegrity",
+        ]
+        assert [s.name for s in spec.server_specs] == [
+            "TotalOrder",
+            "DesPrivacyServer",
+            "SignedIntegrityServer",
+            "AccessControl",
+            "TimedSched",
+        ]
+
+    def test_passive_pairs_automatically(self):
+        spec = QosBuilder().fault_tolerance("passive").build()
+        assert [s.name for s in spec.client_specs] == ["PassiveRep"]
+        assert [s.name for s in spec.server_specs] == ["PassiveRepServer"]
+
+    def test_factories_build_fresh_instances(self):
+        spec = QosBuilder().fault_tolerance("passive").build()
+        first = spec.server_factory()()
+        second = spec.server_factory()()
+        assert first[0] is not second[0]
+        assert type(first[0]).__name__ == "PassiveRepServer"
+
+    def test_config_text_roundtrips(self):
+        spec = (
+            QosBuilder()
+            .fault_tolerance("active", acceptance="success")
+            .timeliness("queued", high_threshold=7)
+            .build()
+        )
+        reparsed = parse_config_text(spec.server_config_text())
+        assert [s.name for s in reparsed] == ["QueuedSched"]
+        assert reparsed[0].params == {"high_threshold": 7}
+        client_reparsed = parse_config_text(spec.client_config_text())
+        assert [s.name for s in client_reparsed] == ["ActiveRep", "FirstSuccess"]
+
+    def test_acceptance_requires_active(self):
+        with pytest.raises(ConfigurationError):
+            QosBuilder().fault_tolerance("passive", acceptance="vote")
+
+    def test_total_order_requires_active(self):
+        with pytest.raises(ConfigurationError):
+            QosBuilder().fault_tolerance("none", total_order=True)
+
+    def test_unknown_styles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QosBuilder().fault_tolerance("quantum")
+        with pytest.raises(ConfigurationError):
+            QosBuilder().timeliness("psychic")
+
+    def test_extra_escape_hatch(self):
+        spec = QosBuilder().extra("client", "Retransmit", max_attempts=5).build()
+        assert spec.client_specs[0].name == "Retransmit"
+        assert spec.client_specs[0].params == {"max_attempts": 5}
+        with pytest.raises(ConfigurationError):
+            QosBuilder().extra("sideways", "Retransmit")
+
+    def test_order_timeout_parameter(self):
+        spec = (
+            QosBuilder()
+            .fault_tolerance("active", total_order=True, order_timeout=0.5)
+            .build()
+        )
+        total = [s for s in spec.server_specs if s.name == "TotalOrder"][0]
+        assert total.params == {"order_timeout": 0.5}
+
+
+class TestBuilderEndToEnd:
+    def test_built_configuration_deploys(self):
+        from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+        from repro.core.service import CqosDeployment
+        from repro.net.memory import InMemoryNetwork
+
+        spec = (
+            QosBuilder()
+            .fault_tolerance("active", acceptance="vote")
+            .integrity(key_hex=KEY)
+            .build()
+        )
+        deployment = CqosDeployment(
+            InMemoryNetwork(), "rmi", bank_compiled(), request_timeout=10.0
+        )
+        try:
+            deployment.add_replicas(
+                "acct",
+                BankAccount,
+                bank_interface(),
+                replicas=3,
+                server_micro_protocols=spec.server_factory(),
+            )
+            stub = deployment.client_stub(
+                "acct", bank_interface(), client_micro_protocols=spec.client_factory()
+            )
+            stub.set_balance(3.0)
+            assert stub.get_balance() == 3.0
+        finally:
+            deployment.close()

@@ -1,0 +1,107 @@
+"""Unit tests for composite protocols, micro-protocols, and shared data."""
+
+import pytest
+
+from repro.cactus.composite import CompositeProtocol, MicroProtocol, SharedData
+from repro.util.errors import ConfigurationError
+
+
+class Recorder(MicroProtocol):
+    """Binds one handler and records activations."""
+
+    def __init__(self, name="recorder", event="ev"):
+        super().__init__(name)
+        self._event = event
+        self.calls = []
+
+    def start(self):
+        self.bind(self._event, self.on_event)
+
+    def on_event(self, occurrence):
+        self.calls.append(occurrence.args)
+
+
+@pytest.fixture
+def composite():
+    comp = CompositeProtocol("test")
+    yield comp
+    comp.shutdown()
+    comp.runtime.shutdown()
+
+
+class TestSharedData:
+    def test_get_set(self):
+        shared = SharedData()
+        assert shared.get("missing") is None
+        assert shared.get("missing", 7) == 7
+        shared.set("k", 1)
+        assert shared.get("k") == 1
+
+    def test_setdefault(self):
+        shared = SharedData()
+        assert shared.setdefault("k", []) == []
+        marker = shared.get("k")
+        assert shared.setdefault("k", [1]) is marker
+
+    def test_atomic_update(self):
+        shared = SharedData()
+        assert shared.update("count", lambda v: v + 1, default=0) == 1
+        assert shared.update("count", lambda v: v + 1, default=0) == 2
+
+    def test_pop(self):
+        shared = SharedData()
+        shared.set("k", "v")
+        assert shared.pop("k") == "v"
+        assert shared.pop("k", "gone") == "gone"
+
+
+class TestMicroProtocolLifecycle:
+    def test_configure_starts_protocols(self, composite):
+        recorder = Recorder()
+        composite.configure([recorder])
+        composite.raise_event("ev", 1)
+        assert recorder.calls == [(1,)]
+
+    def test_duplicate_names_rejected(self, composite):
+        composite.configure([Recorder()])
+        with pytest.raises(ConfigurationError, match="already configured"):
+            composite.add_micro_protocol(Recorder())
+
+    def test_remove_unbinds(self, composite):
+        recorder = Recorder()
+        composite.configure([recorder])
+        composite.remove_micro_protocol("recorder")
+        composite.raise_event("ev", 1)
+        assert recorder.calls == []
+
+    def test_dynamic_add_during_execution(self, composite):
+        late = Recorder("late")
+        composite.add_micro_protocol(late)
+        composite.raise_event("ev", "x")
+        assert late.calls == [("x",)]
+
+    def test_lookup(self, composite):
+        recorder = Recorder()
+        composite.configure([recorder])
+        assert composite.micro_protocol("recorder") is recorder
+        assert composite.micro_protocol_names() == ["recorder"]
+        with pytest.raises(ConfigurationError):
+            composite.micro_protocol("nope")
+
+    def test_unattached_protocol_has_no_composite(self):
+        recorder = Recorder()
+        with pytest.raises(ConfigurationError, match="not attached"):
+            _ = recorder.composite
+
+    def test_shutdown_stops_all(self, composite):
+        first, second = Recorder("a"), Recorder("b")
+        composite.configure([first, second])
+        composite.shutdown()
+        composite.raise_event("ev")
+        assert first.calls == [] and second.calls == []
+
+    def test_stop_is_idempotent(self, composite):
+        recorder = Recorder()
+        composite.configure([recorder])
+        composite.remove_micro_protocol("recorder")
+        recorder.stop()  # second stop must not fail

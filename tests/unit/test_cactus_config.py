@@ -1,0 +1,108 @@
+"""Unit tests for static configuration: registry, text format, building."""
+
+import pytest
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import (
+    MicroProtocolSpec,
+    build_micro_protocols,
+    micro_protocol_registry,
+    parse_config_text,
+    register_micro_protocol,
+)
+from repro.util.errors import ConfigurationError
+
+
+@register_micro_protocol("_TestConfigurable")
+class Configurable(MicroProtocol):
+    name = "_TestConfigurable"
+
+    def __init__(self, count: int = 1, label: str = "x", fast: bool = False):
+        super().__init__()
+        self.count = count
+        self.label = label
+        self.fast = fast
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert micro_protocol_registry()["_TestConfigurable"] is Configurable
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_micro_protocol("_TestConfigurable", MicroProtocol)
+
+    def test_idempotent_registration(self):
+        register_micro_protocol("_TestConfigurable", Configurable)  # no error
+
+    def test_qos_protocols_are_registered(self):
+        registry = micro_protocol_registry()
+        for name in (
+            "ClientBase",
+            "ServerBase",
+            "ActiveRep",
+            "PassiveRep",
+            "PassiveRepServer",
+            "FirstSuccess",
+            "MajorityVote",
+            "TotalOrder",
+            "Retransmit",
+            "DesPrivacy",
+            "DesPrivacyServer",
+            "SignedIntegrity",
+            "SignedIntegrityServer",
+            "AccessControl",
+            "PrioritySched",
+            "QueuedSched",
+            "TimedSched",
+        ):
+            assert name in registry, name
+
+
+class TestTextFormat:
+    def test_parse_lines_and_params(self):
+        specs = parse_config_text(
+            """
+            # comment
+            ActiveRep
+            _TestConfigurable count=3 label=hello fast=true
+            MajorityVote   # trailing comment
+            """
+        )
+        assert [s.name for s in specs] == ["ActiveRep", "_TestConfigurable", "MajorityVote"]
+        assert specs[1].params == {"count": 3, "label": "hello", "fast": True}
+
+    def test_scalar_parsing(self):
+        specs = parse_config_text("_TestConfigurable count=2 label=1.5x fast=false")
+        assert specs[0].params == {"count": 2, "label": "1.5x", "fast": False}
+
+    def test_float_param(self):
+        specs = parse_config_text("X period=0.25")
+        assert specs[0].params == {"period": 0.25}
+
+    def test_malformed_param(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_config_text("X oops")
+
+    def test_wire_roundtrip(self):
+        spec = MicroProtocolSpec("A", {"k": 1})
+        assert MicroProtocolSpec.from_wire(spec.to_wire()) == spec
+
+
+class TestBuilding:
+    def test_build_with_params(self):
+        [instance] = build_micro_protocols(
+            [MicroProtocolSpec("_TestConfigurable", {"count": 9})]
+        )
+        assert isinstance(instance, Configurable)
+        assert instance.count == 9
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown micro-protocol"):
+            build_micro_protocols([MicroProtocolSpec("NoSuchProtocol")])
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            build_micro_protocols(
+                [MicroProtocolSpec("_TestConfigurable", {"bogus_kw": 1})]
+            )

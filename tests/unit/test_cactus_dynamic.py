@@ -1,0 +1,115 @@
+"""Unit tests for dynamic customization (rBoot/rControl, config service)."""
+
+import pytest
+
+from repro.cactus.composite import CompositeProtocol, MicroProtocol
+from repro.cactus.config import MicroProtocolSpec, register_micro_protocol
+from repro.cactus.dynamic import (
+    ConfigurationService,
+    RBoot,
+    RControl,
+    dynamic_composite,
+    fetch_configuration,
+    peer_config_source,
+    serve_configuration,
+)
+from repro.net.memory import InMemoryNetwork
+from repro.util.errors import ConfigurationError
+
+
+@register_micro_protocol("_DynLoaded")
+class DynLoaded(MicroProtocol):
+    name = "_DynLoaded"
+
+    def __init__(self, tag: str = "default"):
+        super().__init__()
+        self.tag = tag
+
+
+@pytest.fixture
+def network():
+    net = InMemoryNetwork()
+    yield net
+    net.close()
+
+
+class TestRBootRControl:
+    def test_local_source_loads_protocols(self):
+        specs = [MicroProtocolSpec("_DynLoaded", {"tag": "local"})]
+        composite = dynamic_composite("dyn", lambda: specs)
+        try:
+            loaded = composite.micro_protocol("_DynLoaded")
+            assert loaded.tag == "local"
+            assert "rBoot" in composite.micro_protocol_names()
+            assert "rControl" in composite.micro_protocol_names()
+        finally:
+            composite.shutdown()
+            composite.runtime.shutdown()
+
+    def test_rcontrol_loads_more_at_runtime(self):
+        composite = dynamic_composite("dyn", lambda: [])
+        try:
+            control: RControl = composite.micro_protocol("rControl")
+            control.load([MicroProtocolSpec("_DynLoaded", {"tag": "late"})])
+            assert composite.micro_protocol("_DynLoaded").tag == "late"
+            assert control.loaded_names() == ["_DynLoaded"]
+        finally:
+            composite.shutdown()
+            composite.runtime.shutdown()
+
+    def test_unknown_protocol_fails_boot(self):
+        with pytest.raises(ConfigurationError):
+            dynamic_composite("dyn", lambda: [MicroProtocolSpec("NoSuch")])
+
+
+class TestPeerDownload:
+    def test_client_downloads_from_server(self, network):
+        server_host = network.host("server")
+        specs = [MicroProtocolSpec("_DynLoaded", {"tag": "from-server"})]
+        listener = serve_configuration(server_host, lambda: specs)
+        try:
+            fetched = fetch_configuration(network.host("client"), "server")
+            assert fetched == specs
+            composite = dynamic_composite(
+                "dyn", peer_config_source(network.host("client"), "server")
+            )
+            try:
+                assert composite.micro_protocol("_DynLoaded").tag == "from-server"
+            finally:
+                composite.shutdown()
+                composite.runtime.shutdown()
+        finally:
+            listener.close()
+
+
+class TestConfigurationService:
+    def test_per_user_service_pairs(self, network):
+        service = ConfigurationService(network)
+        try:
+            service.define(
+                "alice", "bank", [MicroProtocolSpec("_DynLoaded", {"tag": "alice-bank"})]
+            )
+            service.define(
+                "bob", "bank", [MicroProtocolSpec("_DynLoaded", {"tag": "bob-bank"})]
+            )
+            source = ConfigurationService.source(
+                network, "client-a", "config-service", "alice", "bank"
+            )
+            assert source()[0].params["tag"] == "alice-bank"
+            source_b = ConfigurationService.source(
+                network, "client-b", "config-service", "bob", "bank"
+            )
+            assert source_b()[0].params["tag"] == "bob-bank"
+        finally:
+            service.close()
+
+    def test_undefined_pair_fails(self, network):
+        service = ConfigurationService(network)
+        try:
+            source = ConfigurationService.source(
+                network, "client", "config-service", "eve", "bank"
+            )
+            with pytest.raises(Exception):
+                source()
+        finally:
+            service.close()

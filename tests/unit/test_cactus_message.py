@@ -1,0 +1,46 @@
+"""Unit tests for the Cactus message abstraction."""
+
+import pytest
+
+from repro.cactus.message import Message
+from repro.util.errors import ConfigurationError
+
+
+class TestMessage:
+    def test_payload_and_attributes(self):
+        message = Message("payload", priority=3)
+        assert message.payload == "payload"
+        assert message.get_attribute("priority") == 3
+
+    def test_attribute_lifecycle(self):
+        message = Message()
+        assert not message.has_attribute("seq")
+        message.set_attribute("seq", 7)
+        assert message.has_attribute("seq")
+        assert message.require_attribute("seq") == 7
+        assert message.remove_attribute("seq") == 7
+        assert message.get_attribute("seq", "gone") == "gone"
+
+    def test_require_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            Message().require_attribute("absent")
+
+    def test_independent_attribute_spaces(self):
+        # Two "micro-protocols" annotate without clobbering each other.
+        message = Message(b"data")
+        message.set_attribute("privacy.ct", b"ct")
+        message.set_attribute("order.seq", 1)
+        assert sorted(message.attribute_names()) == ["order.seq", "privacy.ct"]
+
+    def test_wire_roundtrip(self):
+        message = Message([1, 2], kind="forward", seq=9)
+        rebuilt = Message.from_wire(message.to_wire())
+        assert rebuilt.payload == [1, 2]
+        assert rebuilt.get_attribute("kind") == "forward"
+        assert rebuilt.get_attribute("seq") == 9
+
+    def test_wire_is_codec_friendly(self):
+        from repro.serialization.jser import jser_dumps, jser_loads
+
+        wire = Message("p", a=1).to_wire()
+        assert jser_loads(jser_dumps(wire)) == wire

@@ -1,0 +1,97 @@
+"""Unit tests for the Cactus runtime (timers, priorities, shutdown)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cactus.runtime import CactusRuntime, default_worker_count
+from repro.util.clock import VirtualClock
+from repro.util.concurrency import current_thread_priority, thread_priority
+
+
+@pytest.fixture
+def runtime():
+    rt = CactusRuntime(workers=4, name="test-rt")
+    yield rt
+    rt.shutdown()
+
+
+class TestSubmit:
+    def test_runs_on_pool(self, runtime):
+        assert runtime.submit(lambda: threading.current_thread().name).result(2.0).startswith(
+            "test-rt"
+        )
+
+    def test_priority_inherited(self, runtime):
+        with thread_priority(7):
+            future = runtime.submit(current_thread_priority)
+        assert future.result(2.0) == 7
+
+    def test_default_worker_count_bounds(self):
+        count = default_worker_count()
+        assert 4 <= count <= 16
+
+
+class TestSubmitDelayed:
+    def test_fires_after_delay(self, runtime):
+        done = threading.Event()
+        start = time.monotonic()
+        runtime.submit_delayed(0.05, done.set)
+        assert done.wait(2.0)
+        assert time.monotonic() - start >= 0.04
+
+    def test_does_not_occupy_pool_workers(self):
+        """Many armed timers must not starve the pool (regression: TotalOrder
+        failover timers once consumed every worker for their full delay)."""
+        rt = CactusRuntime(workers=2, name="starve-rt")
+        try:
+            for _ in range(10):
+                rt.submit_delayed(5.0, lambda: None)
+            # With 10 pending 5s timers and only 2 workers, immediate work
+            # must still run promptly.
+            assert rt.submit(lambda: "alive").result(1.0) == "alive"
+        finally:
+            rt.shutdown()
+
+    def test_cancellation(self, runtime):
+        fired = threading.Event()
+        cancelled = threading.Event()
+        runtime.submit_delayed(0.05, fired.set, cancelled=cancelled.is_set)
+        cancelled.set()
+        time.sleep(0.15)
+        assert not fired.is_set()
+
+    def test_result_ferried(self, runtime):
+        future = runtime.submit_delayed(0.01, lambda: 42)
+        assert future.result(2.0) == 42
+
+    def test_exception_ferried(self, runtime):
+        future = runtime.submit_delayed(0.01, lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result(2.0)
+
+    def test_virtual_clock_timer(self):
+        clock = VirtualClock()
+        rt = CactusRuntime(clock=clock, workers=2, name="virt-rt")
+        try:
+            fired = threading.Event()
+            rt.submit_delayed(10.0, fired.set)
+            time.sleep(0.05)
+            assert not fired.is_set()
+            for _ in range(100):
+                if clock.pending_sleepers():
+                    break
+                time.sleep(0.005)
+            clock.advance(10.0)
+            assert fired.wait(2.0)
+        finally:
+            rt.shutdown()
+
+    def test_shutdown_suppresses_pending_timers(self):
+        rt = CactusRuntime(workers=2, name="shutdown-rt")
+        fired = threading.Event()
+        rt.submit_delayed(0.05, fired.set)
+        rt.shutdown()
+        time.sleep(0.15)
+        assert not fired.is_set()

@@ -1,0 +1,129 @@
+"""Unit tests for the CDR-like codec."""
+
+import math
+
+import pytest
+
+from repro.serialization.cdr import CdrInputStream, CdrOutputStream, cdr_dumps, cdr_loads
+from repro.serialization.registry import TypeRegistry
+from repro.util.errors import MarshalError
+
+
+class TestPrimitives:
+    def test_typed_stream_roundtrip(self):
+        out = CdrOutputStream()
+        out.write_octet(0xAB)
+        out.write_bool(True)
+        out.write_short(-1234)
+        out.write_ushort(65000)
+        out.write_long(-(2**31))
+        out.write_ulong(2**32 - 1)
+        out.write_longlong(-(2**63))
+        out.write_double(math.pi)
+        out.write_string("héllo wörld")
+        out.write_bytes(b"\x00\x01\x02")
+        stream = CdrInputStream(out.getvalue())
+        assert stream.read_octet() == 0xAB
+        assert stream.read_bool() is True
+        assert stream.read_short() == -1234
+        assert stream.read_ushort() == 65000
+        assert stream.read_long() == -(2**31)
+        assert stream.read_ulong() == 2**32 - 1
+        assert stream.read_longlong() == -(2**63)
+        assert stream.read_double() == math.pi
+        assert stream.read_string() == "héllo wörld"
+        assert stream.read_bytes() == b"\x00\x01\x02"
+        assert stream.remaining == 0
+
+    def test_alignment(self):
+        # One octet followed by a long: three padding bytes on the wire.
+        out = CdrOutputStream()
+        out.write_octet(1)
+        out.write_long(7)
+        assert len(out.getvalue()) == 8
+        stream = CdrInputStream(out.getvalue())
+        assert stream.read_octet() == 1
+        assert stream.read_long() == 7
+
+    def test_truncated_stream(self):
+        with pytest.raises(MarshalError):
+            CdrInputStream(b"\x00\x01").read_long()
+
+
+class TestAnyEncoding:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**62,
+        -(2**63),
+        2**100,  # beyond int64: bigint path
+        -(2**100),
+        1.5,
+        float("inf"),
+        "",
+        "text",
+        b"",
+        b"bytes",
+        [],
+        [1, "two", 3.0, None],
+        (1, 2),
+        {},
+        {"k": [1, {"nested": (True, b"x")}]},
+        {1: "int key", (1, 2): "tuple key"},
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=[repr(c)[:40] for c in CASES])
+    def test_roundtrip(self, value):
+        assert cdr_loads(cdr_dumps(value)) == value
+
+    def test_nan_roundtrip(self):
+        assert math.isnan(cdr_loads(cdr_dumps(float("nan"))))
+
+    def test_bool_is_not_int(self):
+        # bool must survive as bool (True == 1 would corrupt IDL booleans).
+        assert cdr_loads(cdr_dumps(True)) is True
+        assert cdr_loads(cdr_dumps(1)) == 1
+        assert not isinstance(cdr_loads(cdr_dumps(1)), bool)
+
+    def test_tuple_vs_list_preserved(self):
+        assert isinstance(cdr_loads(cdr_dumps((1, 2))), tuple)
+        assert isinstance(cdr_loads(cdr_dumps([1, 2])), list)
+
+    def test_unregistered_type_rejected(self):
+        class Unknown:
+            pass
+
+        with pytest.raises(MarshalError, match="register"):
+            cdr_dumps(Unknown())
+
+    def test_registered_value_type(self):
+        registry = TypeRegistry()
+
+        class Point:
+            def __init__(self, x, y):
+                self.x, self.y = x, y
+
+        registry.register("test.Point", Point)
+        data = cdr_dumps(Point(1, 2), registry)
+        decoded = cdr_loads(data, registry)
+        assert isinstance(decoded, Point)
+        assert (decoded.x, decoded.y) == (1, 2)
+
+    def test_unknown_type_name_on_decode(self):
+        registry = TypeRegistry()
+
+        class P:
+            def __init__(self):
+                self.v = 1
+
+        registry.register("test.P", P)
+        data = cdr_dumps(P(), registry)
+        with pytest.raises(MarshalError, match="unknown value type"):
+            cdr_loads(data, TypeRegistry())
+
+    def test_garbage_tag_rejected(self):
+        with pytest.raises(MarshalError):
+            cdr_loads(b"\xff")

@@ -1,0 +1,100 @@
+"""Unit tests for the clock abstraction."""
+
+import threading
+import time
+
+from repro.util.clock import RealClock, VirtualClock
+
+
+class TestRealClock:
+    def test_now_is_monotonic(self):
+        clock = RealClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_blocks_roughly(self):
+        clock = RealClock()
+        start = time.monotonic()
+        clock.sleep(0.02)
+        assert time.monotonic() - start >= 0.015
+
+    def test_sleep_zero_or_negative_returns_immediately(self):
+        clock = RealClock()
+        start = time.monotonic()
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert time.monotonic() - start < 0.05
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=10.0).now() == 10.0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_sleep_wakes_on_advance(self):
+        clock = VirtualClock()
+        woke = threading.Event()
+
+        def sleeper():
+            clock.sleep(1.0)
+            woke.set()
+
+        thread = threading.Thread(target=sleeper, daemon=True)
+        thread.start()
+        # Wait until the sleeper is parked.
+        for _ in range(100):
+            if clock.pending_sleepers() == 1:
+                break
+            time.sleep(0.005)
+        assert clock.pending_sleepers() == 1
+        clock.advance(0.5)
+        assert not woke.is_set()
+        clock.advance(0.6)
+        assert woke.wait(1.0)
+
+    def test_sleep_zero_returns_immediately(self):
+        clock = VirtualClock()
+        clock.sleep(0.0)  # must not block
+        assert clock.pending_sleepers() == 0
+
+    def test_multiple_sleepers_wake_in_deadline_order(self):
+        clock = VirtualClock()
+        order = []
+        lock = threading.Lock()
+
+        def sleeper(duration, tag):
+            clock.sleep(duration)
+            with lock:
+                order.append(tag)
+
+        threads = [
+            threading.Thread(target=sleeper, args=(3.0, "late"), daemon=True),
+            threading.Thread(target=sleeper, args=(1.0, "early"), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for _ in range(100):
+            if clock.pending_sleepers() == 2:
+                break
+            time.sleep(0.005)
+        clock.advance(1.5)
+        for _ in range(100):
+            with lock:
+                if order:
+                    break
+            time.sleep(0.005)
+        with lock:
+            assert order == ["early"]
+        clock.advance(2.0)
+        for t in threads:
+            t.join(timeout=1.0)
+        with lock:
+            assert order == ["early", "late"]

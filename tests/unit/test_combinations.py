@@ -1,0 +1,88 @@
+"""Unit tests for the composability matrix (paper §3.5 claims)."""
+
+import pytest
+
+from repro.qos.combinations import (
+    FT_COMBINATIONS,
+    all_combinations,
+    count_combinations,
+    validate_configuration,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestPaperClaims:
+    def test_five_fault_tolerance_combinations(self):
+        assert len(FT_COMBINATIONS) == 5
+
+    def test_over_100_combinations(self):
+        # The paper: "configured in over 100 different combinations".
+        assert count_combinations() > 100
+        assert count_combinations() == 6 * 8 * 4  # (1+5) x 2^3 x (1+3)
+
+    def test_all_combinations_are_unique(self):
+        combos = all_combinations()
+        assert len({c.label() for c in combos}) == len(combos)
+
+    def test_every_combination_validates(self):
+        for combo in all_combinations():
+            validate_configuration(combo.client_protocols(), combo.server_protocols())
+
+    def test_combination_protocol_names_exist(self):
+        from repro.cactus.config import micro_protocol_registry
+
+        registry = micro_protocol_registry()
+        for combo in all_combinations():
+            for name in combo.client_protocols() + combo.server_protocols():
+                assert name in registry, name
+
+
+class TestValidation:
+    def test_active_and_passive_conflict(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            validate_configuration(["ActiveRep", "PassiveRep"], [])
+
+    def test_two_acceptance_protocols_conflict(self):
+        with pytest.raises(ConfigurationError, match="acceptance"):
+            validate_configuration(["ActiveRep", "FirstSuccess", "MajorityVote"], [])
+
+    def test_acceptance_requires_active(self):
+        with pytest.raises(ConfigurationError, match="ActiveRep"):
+            validate_configuration(["MajorityVote"], [])
+
+    def test_total_order_requires_active(self):
+        with pytest.raises(ConfigurationError, match="ActiveRep"):
+            validate_configuration([], ["TotalOrder"])
+
+    def test_queue_schedulers_conflict(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            validate_configuration([], ["QueuedSched", "TimedSched"])
+
+    def test_priority_composes_with_queued(self):
+        validate_configuration([], ["PrioritySched", "QueuedSched"])
+
+    def test_privacy_must_be_paired(self):
+        with pytest.raises(ConfigurationError, match="DesPrivacyServer"):
+            validate_configuration(["DesPrivacy"], [])
+        with pytest.raises(ConfigurationError, match="DesPrivacy"):
+            validate_configuration([], ["DesPrivacyServer"])
+
+    def test_integrity_must_be_paired(self):
+        with pytest.raises(ConfigurationError, match="SignedIntegrityServer"):
+            validate_configuration(["SignedIntegrity"], [])
+
+    def test_passive_must_be_paired(self):
+        with pytest.raises(ConfigurationError, match="PassiveRepServer"):
+            validate_configuration(["PassiveRep"], [])
+
+    def test_valid_full_stack(self):
+        validate_configuration(
+            ["ActiveRep", "MajorityVote", "DesPrivacy", "SignedIntegrity"],
+            [
+                "TotalOrder",
+                "DesPrivacyServer",
+                "SignedIntegrityServer",
+                "AccessControl",
+                "TimedSched",
+            ],
+        )

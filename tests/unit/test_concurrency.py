@@ -1,0 +1,173 @@
+"""Unit tests for latches, futures, priorities, and the priority executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.concurrency import (
+    DEFAULT_PRIORITY,
+    CountDownLatch,
+    PriorityExecutor,
+    ResultFuture,
+    current_thread_priority,
+    set_thread_priority,
+    thread_priority,
+)
+from repro.util.errors import TimeoutError_
+
+
+class TestCountDownLatch:
+    def test_wait_returns_after_countdown(self):
+        latch = CountDownLatch(2)
+        latch.count_down()
+        assert not latch.wait(timeout=0.01)
+        latch.count_down()
+        assert latch.wait(timeout=0.01)
+
+    def test_zero_count_is_immediately_open(self):
+        assert CountDownLatch(0).wait(timeout=0.01)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountDownLatch(-1)
+
+    def test_extra_countdowns_are_harmless(self):
+        latch = CountDownLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.count == 0
+
+    def test_wait_from_other_thread(self):
+        latch = CountDownLatch(1)
+        result = []
+        thread = threading.Thread(target=lambda: result.append(latch.wait(2.0)))
+        thread.start()
+        latch.count_down()
+        thread.join(timeout=2.0)
+        assert result == [True]
+
+
+class TestResultFuture:
+    def test_result_roundtrip(self):
+        future = ResultFuture()
+        assert future.set_result(42)
+        assert future.done()
+        assert future.result(0.1) == 42
+
+    def test_first_completion_wins(self):
+        future = ResultFuture()
+        assert future.set_result(1)
+        assert not future.set_result(2)
+        assert not future.set_exception(RuntimeError("late"))
+        assert future.result(0.1) == 1
+
+    def test_exception_is_raised(self):
+        future = ResultFuture()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.result(0.1)
+
+    def test_timeout(self):
+        with pytest.raises(TimeoutError_):
+            ResultFuture().result(timeout=0.01)
+
+
+class TestThreadPriority:
+    def test_default(self):
+        assert current_thread_priority() == DEFAULT_PRIORITY
+
+    def test_set_and_clamp(self):
+        set_thread_priority(7)
+        assert current_thread_priority() == 7
+        set_thread_priority(99)
+        assert current_thread_priority() == 10
+        set_thread_priority(-5)
+        assert current_thread_priority() == 1
+        set_thread_priority(DEFAULT_PRIORITY)
+
+    def test_context_manager_restores(self):
+        set_thread_priority(4)
+        with thread_priority(9):
+            assert current_thread_priority() == 9
+        assert current_thread_priority() == 4
+        set_thread_priority(DEFAULT_PRIORITY)
+
+
+class TestPriorityExecutor:
+    def test_runs_submitted_work(self):
+        executor = PriorityExecutor(workers=2)
+        try:
+            assert executor.submit(lambda x: x * 2, 21).result(2.0) == 42
+        finally:
+            executor.shutdown()
+
+    def test_exceptions_reach_future(self):
+        executor = PriorityExecutor(workers=1)
+        try:
+            future = executor.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(2.0)
+        finally:
+            executor.shutdown()
+
+    def test_high_priority_runs_first(self):
+        executor = PriorityExecutor(workers=1)
+        order = []
+        gate = threading.Event()
+        try:
+            # Occupy the single worker so later submissions queue.
+            blocker = executor.submit(gate.wait, 2.0)
+            time.sleep(0.05)
+            lows = [executor.submit(order.append, f"low{i}", priority=2) for i in range(3)]
+            high = executor.submit(order.append, "high", priority=9)
+            gate.set()
+            high.result(2.0)
+            for f in lows:
+                f.result(2.0)
+            blocker.result(2.0)
+            assert order[0] == "high"
+        finally:
+            executor.shutdown()
+
+    def test_workers_adopt_submission_priority(self):
+        executor = PriorityExecutor(workers=1)
+        try:
+            seen = executor.submit(current_thread_priority, priority=8).result(2.0)
+            assert seen == 8
+        finally:
+            executor.shutdown()
+
+    def test_priority_defaults_to_submitter(self):
+        executor = PriorityExecutor(workers=1)
+        try:
+            with thread_priority(3):
+                future = executor.submit(current_thread_priority)
+            assert future.result(2.0) == 3
+        finally:
+            executor.shutdown()
+
+    def test_equal_priority_is_fifo(self):
+        executor = PriorityExecutor(workers=1)
+        order = []
+        gate = threading.Event()
+        try:
+            executor.submit(gate.wait, 2.0)
+            time.sleep(0.05)
+            futures = [executor.submit(order.append, i) for i in range(5)]
+            gate.set()
+            for f in futures:
+                f.result(2.0)
+            assert order == [0, 1, 2, 3, 4]
+        finally:
+            executor.shutdown()
+
+    def test_submit_after_shutdown_rejected(self):
+        executor = PriorityExecutor(workers=1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.submit(lambda: None)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            PriorityExecutor(workers=0)

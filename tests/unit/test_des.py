@@ -1,0 +1,127 @@
+"""Unit tests for the pure-Python DES implementation.
+
+Known-answer vectors pin the algorithm to FIPS 46-3; mode/padding tests
+cover the envelope around the block cipher.
+"""
+
+import pytest
+
+from repro.crypto.des import DesCipher, des_decrypt, des_encrypt
+from repro.util.errors import MarshalError
+
+# The classic worked example (used in innumerable DES expositions).
+KAT_KEY = bytes.fromhex("133457799BBCDFF1")
+KAT_PLAIN = bytes.fromhex("0123456789ABCDEF")
+KAT_CIPHER = bytes.fromhex("85E813540F0AB405")
+
+
+class TestKnownAnswers:
+    def test_classic_vector_encrypt(self):
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        assert cipher.encrypt_block(KAT_PLAIN) == KAT_CIPHER
+
+    def test_classic_vector_decrypt(self):
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        assert cipher.decrypt_block(KAT_CIPHER) == KAT_PLAIN
+
+    def test_all_zero_key_and_block(self):
+        # Published vector: DES(0^64) under key 0^64 = 8CA64DE9C1B123A7.
+        cipher = DesCipher(bytes(8), mode="ECB")
+        assert cipher.encrypt_block(bytes(8)) == bytes.fromhex("8CA64DE9C1B123A7")
+
+    def test_all_ones_vector(self):
+        # Published vector: key FF..FF, plaintext FF..FF -> 7359B2163E4EDC58.
+        key = bytes.fromhex("FFFFFFFFFFFFFFFF")
+        plain = bytes.fromhex("FFFFFFFFFFFFFFFF")
+        cipher = DesCipher(key, mode="ECB")
+        assert cipher.encrypt_block(plain) == bytes.fromhex("7359B2163E4EDC58")
+
+    def test_complementation_property(self):
+        # DES(~K, ~P) == ~DES(K, P) — a structural property of the cipher
+        # that fails for almost any implementation bug.
+        key = bytes.fromhex("0123456789ABCDEF")
+        plain = bytes.fromhex("1122334455667788")
+        ct = DesCipher(key, mode="ECB").encrypt_block(plain)
+        comp_key = bytes(b ^ 0xFF for b in key)
+        comp_plain = bytes(b ^ 0xFF for b in plain)
+        comp_ct = DesCipher(comp_key, mode="ECB").encrypt_block(comp_plain)
+        assert comp_ct == bytes(b ^ 0xFF for b in ct)
+
+
+class TestModes:
+    def test_ecb_roundtrip(self):
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        for size in (0, 1, 7, 8, 9, 100):
+            data = bytes(range(size % 256))[:size] or b""
+            assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_cbc_roundtrip(self):
+        cipher = DesCipher(KAT_KEY, mode="CBC")
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_cbc_randomizes_iv(self):
+        cipher = DesCipher(KAT_KEY, mode="CBC")
+        assert cipher.encrypt(b"same input") != cipher.encrypt(b"same input")
+
+    def test_cbc_explicit_iv_is_deterministic(self):
+        cipher = DesCipher(KAT_KEY, mode="CBC")
+        iv = bytes(range(8))
+        assert cipher.encrypt(b"data", iv=iv) == cipher.encrypt(b"data", iv=iv)
+
+    def test_ecb_identical_blocks_leak(self):
+        # ECB's defining weakness, asserted as documented behaviour.
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        ct = cipher.encrypt(b"A" * 16)
+        assert ct[:8] == ct[8:16]
+
+    def test_cbc_identical_blocks_do_not_leak(self):
+        cipher = DesCipher(KAT_KEY, mode="CBC")
+        ct = cipher.encrypt(b"A" * 16, iv=bytes(8))
+        assert ct[8:16] != ct[16:24]
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            DesCipher(b"short")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            DesCipher(KAT_KEY, mode="CTR")
+
+    def test_bad_block_length(self):
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"123")
+
+    def test_truncated_ciphertext(self):
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        with pytest.raises(MarshalError):
+            cipher.decrypt(b"\x00" * 7)
+
+    def test_corrupted_padding_detected(self):
+        cipher = DesCipher(KAT_KEY, mode="ECB")
+        ct = bytearray(cipher.encrypt(b"hello"))
+        ct[-1] ^= 0xFF
+        with pytest.raises(MarshalError):
+            cipher.decrypt(bytes(ct))
+
+    def test_bad_iv_length(self):
+        with pytest.raises(ValueError):
+            DesCipher(KAT_KEY, mode="CBC").encrypt(b"x", iv=b"123")
+
+    def test_empty_cbc_ciphertext(self):
+        with pytest.raises(MarshalError):
+            DesCipher(KAT_KEY, mode="CBC").decrypt(b"")
+
+
+class TestOneShotHelpers:
+    def test_roundtrip(self):
+        data = b"one-shot helpers"
+        assert des_decrypt(KAT_KEY, des_encrypt(KAT_KEY, data)) == data
+
+    def test_modes_are_incompatible(self):
+        ct = des_encrypt(KAT_KEY, b"data", mode="ECB")
+        with pytest.raises(MarshalError):
+            des_decrypt(KAT_KEY, ct, mode="CBC")

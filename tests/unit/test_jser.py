@@ -1,0 +1,115 @@
+"""Unit tests for the Java-serialization-like codec."""
+
+import math
+
+import pytest
+
+from repro.serialization.jser import jser_dumps, jser_loads
+from repro.serialization.registry import TypeRegistry
+from repro.util.errors import MarshalError
+
+
+class TestRoundtrip:
+    CASES = [
+        None,
+        True,
+        False,
+        0,
+        1,
+        -1,
+        127,
+        -128,
+        2**63 - 1,
+        -(2**63),
+        2**200,
+        -(2**200),
+        0.0,
+        -2.75,
+        "",
+        "unicode ✓",
+        b"",
+        b"\x80\xff",
+        [],
+        [1, [2, [3]]],
+        (1, "two"),
+        {},
+        {"a": 1, 2: "b"},
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=[repr(c)[:40] for c in CASES])
+    def test_roundtrip(self, value):
+        assert jser_loads(jser_dumps(value)) == value
+
+    def test_nan(self):
+        assert math.isnan(jser_loads(jser_dumps(float("nan"))))
+
+    def test_bool_identity(self):
+        assert jser_loads(jser_dumps(True)) is True
+        assert jser_loads(jser_dumps(False)) is False
+        assert not isinstance(jser_loads(jser_dumps(0)), bool)
+
+
+class TestSharedStructure:
+    def test_aliased_list_preserved(self):
+        inner = [1, 2]
+        outer = [inner, inner]
+        decoded = jser_loads(jser_dumps(outer))
+        assert decoded[0] is decoded[1]
+
+    def test_cyclic_list(self):
+        cyc = [1]
+        cyc.append(cyc)
+        decoded = jser_loads(jser_dumps(cyc))
+        assert decoded[0] == 1
+        assert decoded[1] is decoded
+
+    def test_cyclic_dict(self):
+        d = {}
+        d["self"] = d
+        decoded = jser_loads(jser_dumps(d))
+        assert decoded["self"] is decoded
+
+    def test_aliased_value_type(self):
+        registry = TypeRegistry()
+
+        class Node:
+            def __init__(self, tag):
+                self.tag = tag
+
+        registry.register("test.Node", Node)
+        node = Node("n")
+        decoded = jser_loads(jser_dumps([node, node], registry), registry)
+        assert decoded[0] is decoded[1]
+        assert decoded[0].tag == "n"
+
+
+class TestErrors:
+    def test_unregistered_type(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(MarshalError, match="register"):
+            jser_dumps(Mystery())
+
+    def test_truncated(self):
+        data = jser_dumps([1, 2, 3])
+        with pytest.raises(MarshalError):
+            jser_loads(data[:-1])
+
+    def test_bad_tag(self):
+        with pytest.raises(MarshalError):
+            jser_loads(b"\xee")
+
+    def test_dangling_reference(self):
+        # TAG_REF (12) to a handle that was never defined.
+        with pytest.raises(MarshalError, match="dangling"):
+            jser_loads(bytes([12, 5]))
+
+    def test_exception_instances_roundtrip(self):
+        from repro.idl.compiler import compile_idl
+
+        compiled = compile_idl("exception Oops { string why; };")
+        exc = compiled.exceptions["Oops"](why="it broke")
+        decoded = jser_loads(jser_dumps(exc))
+        assert decoded == exc
+        assert isinstance(decoded, BaseException)

@@ -1,0 +1,84 @@
+"""Tests for event statistics and logging conventions."""
+
+import logging
+
+import pytest
+
+from repro.apps.bank import BankAccount, bank_interface
+from repro.cactus.composite import CompositeProtocol
+from repro.util.log import get_logger
+
+
+class TestEventStats:
+    def test_raise_counts(self):
+        composite = CompositeProtocol("stats")
+        try:
+            composite.bind("a", lambda occ: composite.raise_event("b"))
+            composite.bind("b", lambda occ: None)
+            for _ in range(3):
+                composite.raise_event("a")
+            stats = composite.event_stats()
+            assert stats == {"a": 3, "b": 3}
+            composite.reset_event_stats()
+            assert composite.event_stats() == {}
+        finally:
+            composite.shutdown()
+            composite.runtime.shutdown()
+
+    def test_pipeline_stats_end_to_end(self, deployment):
+        skeletons = deployment.add_replicas("acct", BankAccount, bank_interface())
+        stub = deployment.client_stub("acct", bank_interface())
+        server = skeletons[0].cactus_server
+        client = stub.cactus_client
+        server.reset_event_stats()
+        client.reset_event_stats()
+        for _ in range(4):
+            stub.get_balance()
+        assert client.event_stats()["newRequest"] == 4
+        assert client.event_stats()["invokeSuccess"] == 4
+        assert server.event_stats()["newServerRequest"] == 4
+        assert server.event_stats()["invokeReturn"] == 4
+
+
+class TestLogging:
+    def test_namespace_and_null_handler(self):
+        logger = get_logger("qos.passive")
+        assert logger.name == "repro.qos.passive"
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_failover_logs_warning(self, deployment, caplog):
+        from repro.qos import PassiveRep, PassiveRepServer
+
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            replicas=2,
+            server_micro_protocols=lambda: [PassiveRepServer()],
+        )
+        stub = deployment.client_stub(
+            "acct", bank_interface(), client_micro_protocols=lambda: [PassiveRep()]
+        )
+        stub.set_balance(1.0)
+        deployment.crash_replica("acct", 1)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert stub.get_balance() == 1.0
+        assert any("failing over" in rec.message for rec in caplog.records)
+
+    def test_admission_rejection_logs_warning(self, deployment, caplog):
+        from repro.qos.extensions import AdmissionControl
+
+        deployment.add_replicas(
+            "acct",
+            BankAccount,
+            bank_interface(),
+            server_micro_protocols=lambda: [
+                AdmissionControl(max_rate=1e-9, burst=1e-9, exempt_high_priority=False)
+            ],
+        )
+        stub = deployment.client_stub("acct", bank_interface())
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            with pytest.raises(Exception):
+                stub.get_balance()
+        assert any("admission control shed" in rec.message for rec in caplog.records)

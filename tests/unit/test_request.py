@@ -1,0 +1,127 @@
+"""Unit tests for the abstract Request and Reply."""
+
+import threading
+
+import pytest
+
+from repro.core.request import PB_PRIORITY, Reply, Request
+from repro.util.errors import ReproError, TimeoutError_
+
+
+def make_request(**kwargs):
+    return Request("acct", "set_balance", [42.0], **kwargs)
+
+
+class TestAccessors:
+    def test_param_vector(self):
+        request = Request("o", "op", [1, 2, 3])
+        assert request.get_params() == [1, 2, 3]
+        request.set_param(1, "two")
+        assert request.get_param(1) == "two"
+        request.set_params(["new"])
+        assert request.get_params() == ["new"]
+
+    def test_priority_piggyback(self):
+        request = make_request()
+        assert request.priority == 5  # default
+        request.priority = 9
+        assert request.piggyback[PB_PRIORITY] == 9
+        assert request.priority == 9
+
+    def test_client_id_defaults_empty(self):
+        assert make_request().client_id == ""
+
+    def test_ids_are_unique(self):
+        assert make_request().request_id != make_request().request_id
+
+    def test_explicit_id_preserved(self):
+        assert make_request(request_id="fixed").request_id == "fixed"
+
+
+class TestCompletion:
+    def test_complete_releases_waiter(self):
+        request = make_request()
+        result = []
+        thread = threading.Thread(target=lambda: result.append(request.wait(2.0)))
+        thread.start()
+        request.complete("done")
+        thread.join(2.0)
+        assert result == ["done"]
+
+    def test_first_completion_wins(self):
+        request = make_request()
+        assert request.complete(1)
+        assert not request.complete(2)
+        assert not request.fail(RuntimeError())
+        assert request.wait(0.1) == 1
+
+    def test_fail_raises_at_waiter(self):
+        request = make_request()
+        request.fail(ValueError("nope"))
+        with pytest.raises(ValueError, match="nope"):
+            request.wait(0.1)
+
+    def test_wait_timeout(self):
+        with pytest.raises(TimeoutError_):
+            make_request().wait(0.01)
+
+    def test_set_result_before_completion(self):
+        request = make_request()
+        request.set_result("staged")
+        assert request.stored_result == "staged"
+        request.complete(request.stored_result)
+        assert request.wait(0.1) == "staged"
+
+    def test_set_result_after_completion_rejected(self):
+        request = make_request()
+        request.complete("done")
+        with pytest.raises(ReproError):
+            request.set_result("late")
+
+    def test_complete_from_reply_variants(self):
+        ok = make_request()
+        ok.complete_from_reply(Reply(server=1, value=10))
+        assert ok.wait(0.1) == 10
+
+        app_error = make_request()
+        app_error.complete_from_reply(Reply(server=1, exception=KeyError("k")))
+        with pytest.raises(KeyError):
+            app_error.wait(0.1)
+
+        failed = make_request()
+        failed.complete_from_reply(Reply(server=1, failed=True))
+        with pytest.raises(ReproError):
+            failed.wait(0.1)
+
+
+class TestReplies:
+    def test_reply_bookkeeping(self):
+        request = make_request()
+        request.add_reply(Reply(server=1, value="a"))
+        request.add_reply(Reply(server=2, failed=True))
+        assert request.reply_count() == 2
+        replies = request.replies()
+        assert replies[1].succeeded and not replies[2].succeeded
+
+    def test_reply_classification(self):
+        assert Reply(server=1, value=1).succeeded
+        assert not Reply(server=1, value=1).is_application_error
+        assert Reply(server=1, exception=ValueError()).is_application_error
+        assert not Reply(server=1, failed=True, exception=ValueError()).succeeded
+
+
+class TestWireForm:
+    def test_roundtrip(self):
+        request = Request("acct", "op", [1, "x"], piggyback={"p": 1}, request_id="r1")
+        rebuilt = Request.from_wire(request.to_wire())
+        assert rebuilt.request_id == "r1"
+        assert rebuilt.object_id == "acct"
+        assert rebuilt.operation == "op"
+        assert rebuilt.get_params() == [1, "x"]
+        assert rebuilt.piggyback == {"p": 1}
+
+    def test_wire_is_codec_friendly(self):
+        from repro.serialization.jser import jser_dumps, jser_loads
+
+        wire = make_request().to_wire()
+        assert jser_loads(jser_dumps(wire)) == wire

@@ -1,0 +1,104 @@
+"""Unit tests for the TCP loopback transport."""
+
+import threading
+
+import pytest
+
+from repro.net.tcp import TcpNetwork
+from repro.util.errors import CommunicationError, ServerFailedError
+
+
+@pytest.fixture
+def net():
+    network = TcpNetwork()
+    yield network
+    network.close()
+
+
+class TestTcpDelivery:
+    def test_request_reply(self, net):
+        net.host("server").listen("echo", lambda d: b"R:" + d)
+        conn = net.host("client").connect("server/echo")
+        assert conn.call(b"hello") == b"R:hello"
+        conn.close()
+
+    def test_large_frame(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        conn = net.host("client").connect("server/echo")
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        assert conn.call(blob) == blob
+        conn.close()
+
+    def test_unknown_address(self, net):
+        conn = net.host("client").connect("server/none")
+        with pytest.raises(CommunicationError):
+            conn.call(b"x")
+
+    def test_duplicate_address_rejected(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        with pytest.raises(CommunicationError, match="already in use"):
+            net.host("server").listen("echo", lambda d: d)
+
+    def test_sequential_calls_on_one_connection(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        conn = net.host("client").connect("server/echo")
+        for i in range(50):
+            payload = b"%d" % i
+            assert conn.call(payload) == payload
+        conn.close()
+
+    def test_concurrent_clients(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        errors = []
+
+        def worker(i):
+            conn = net.host(f"client-{i}").connect("server/echo")
+            try:
+                for j in range(20):
+                    payload = b"%d-%d" % (i, j)
+                    if conn.call(payload) != payload:
+                        errors.append((i, j))
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        assert not errors
+
+
+class TestTcpFaults:
+    def test_crash_breaks_live_connections(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        conn = net.host("client").connect("server/echo")
+        assert conn.call(b"a") == b"a"
+        net.crash("server")
+        with pytest.raises(CommunicationError):
+            conn.call(b"b")
+
+    def test_recover_re_resolves(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        conn = net.host("client").connect("server/echo")
+        assert conn.call(b"a") == b"a"
+        net.crash("server")
+        with pytest.raises(CommunicationError):
+            conn.call(b"b")
+        net.recover("server")
+        assert conn.call(b"c") == b"c"
+
+    def test_connect_to_crashed_host(self, net):
+        net.host("server").listen("echo", lambda d: d)
+        net.crash("server")
+        conn = net.host("client").connect("server/echo")
+        with pytest.raises(ServerFailedError):
+            conn.call(b"x")
+
+    def test_closed_listener_stops_serving(self, net):
+        listener = net.host("server").listen("echo", lambda d: d)
+        conn = net.host("client").connect("server/echo")
+        assert conn.call(b"a") == b"a"
+        listener.close()
+        with pytest.raises(CommunicationError):
+            conn.call(b"b")

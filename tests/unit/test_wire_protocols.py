@@ -1,0 +1,125 @@
+"""Unit tests for the GIOP-like and JRMP-like wire protocols and IORs."""
+
+import pytest
+
+from repro.idl.compiler import compile_idl
+from repro.orb import giop
+from repro.orb.ior import IOR, ior_to_string, make_object_key, repository_id, string_to_ior
+from repro.rmi import jrmp
+from repro.serialization.registry import TypeRegistry
+from repro.util.errors import MarshalError
+
+
+class TestIor:
+    def test_string_roundtrip(self):
+        ior = IOR("IDL:bank/BankAccount:1.0", "host-1/giop", "poa|oid")
+        assert string_to_ior(ior_to_string(ior)) == ior
+
+    def test_components(self):
+        ior = IOR("t", "a", make_object_key("my_poa", "my_oid"))
+        assert ior.poa_name == "my_poa"
+        assert ior.object_id == "my_oid"
+
+    def test_repository_id(self):
+        assert repository_id("bank::BankAccount") == "IDL:bank/BankAccount:1.0"
+
+    def test_bad_prefix(self):
+        with pytest.raises(MarshalError):
+            string_to_ior("NOT-AN-IOR")
+
+    def test_corrupt_hex(self):
+        with pytest.raises(MarshalError):
+            string_to_ior("IOR:zzzz")
+
+    def test_pipe_in_names_rejected(self):
+        with pytest.raises(MarshalError):
+            make_object_key("bad|poa", "oid")
+
+
+class TestGiop:
+    def test_request_roundtrip(self):
+        message = giop.RequestMessage(
+            request_id=7,
+            object_key="poa|obj",
+            operation="set_balance",
+            arguments=[42.0, "x"],
+            context={"prio": 9},
+            response_expected=True,
+        )
+        decoded = giop.decode_message(giop.encode_request(message))
+        assert decoded == message
+
+    def test_oneway_flag(self):
+        message = giop.RequestMessage(1, "k", "ping", [], {}, response_expected=False)
+        decoded = giop.decode_message(giop.encode_request(message))
+        assert decoded.response_expected is False
+
+    def test_reply_roundtrip_all_statuses(self):
+        for status, body in [
+            (giop.REPLY_NO_EXCEPTION, 123),
+            (giop.REPLY_SYSTEM_EXCEPTION, {"type": "X", "message": "m"}),
+        ]:
+            decoded = giop.decode_message(
+                giop.encode_reply(giop.ReplyMessage(5, status, body))
+            )
+            assert decoded.status == status and decoded.body == body
+
+    def test_user_exception_body(self):
+        compiled = compile_idl("exception Boom { string why; };", TypeRegistry())
+        # Register in the global registry for the default-codec path.
+        from repro.serialization.registry import global_registry
+
+        compiled2 = compile_idl("exception Boom2 { string why; };")
+        exc = compiled2.exceptions["Boom2"](why="w")
+        decoded = giop.decode_message(
+            giop.encode_reply(giop.ReplyMessage(1, giop.REPLY_USER_EXCEPTION, exc))
+        )
+        assert decoded.body == exc
+
+    def test_bad_magic(self):
+        with pytest.raises(MarshalError, match="magic"):
+            giop.decode_message(b"NOPE" + bytes(10))
+
+    def test_bad_version(self):
+        frame = bytearray(giop.encode_request(giop.RequestMessage(1, "k", "op", [])))
+        frame[4] = 99
+        with pytest.raises(MarshalError, match="version"):
+            giop.decode_message(bytes(frame))
+
+    def test_unknown_message_type(self):
+        frame = bytearray(giop.encode_request(giop.RequestMessage(1, "k", "op", [])))
+        frame[5] = 42
+        with pytest.raises(MarshalError, match="message type"):
+            giop.decode_message(bytes(frame))
+
+
+class TestJrmp:
+    def test_call_roundtrip(self):
+        message = jrmp.CallMessage("obj-1", "deposit", [5.0], {"c": "alice"}, oneway=True)
+        decoded = jrmp.decode(jrmp.encode_call(message))
+        assert decoded == message
+
+    def test_return_value(self):
+        decoded = jrmp.decode(jrmp.encode_return(jrmp.ReturnMessage(value=[1, 2])))
+        assert decoded.value == [1, 2]
+        assert decoded.exception is None and decoded.system_error is None
+
+    def test_throw(self):
+        compiled = compile_idl("exception Oof { string m; };")
+        exc = compiled.exceptions["Oof"](m="ow")
+        decoded = jrmp.decode(jrmp.encode_return(jrmp.ReturnMessage(exception=exc)))
+        assert decoded.exception == exc
+
+    def test_system_error(self):
+        decoded = jrmp.decode(
+            jrmp.encode_return(jrmp.ReturnMessage(system_error={"type": "T", "message": "m"}))
+        )
+        assert decoded.system_error == {"type": "T", "message": "m"}
+
+    def test_malformed_frame(self):
+        from repro.serialization.jser import jser_dumps
+
+        with pytest.raises(MarshalError):
+            jrmp.decode(jser_dumps(["not", "a", "dict"]))
+        with pytest.raises(MarshalError):
+            jrmp.decode(jser_dumps({"k": "mystery"}))
