@@ -232,6 +232,23 @@ class CompositeProtocol:
         with self._stats_lock:
             self._raise_counts.clear()
 
+    def protocol_stats(self) -> dict[str, dict[str, int]]:
+        """Per-micro-protocol counters (only protocols that counted anything).
+
+        The second observability surface next to :meth:`event_stats`:
+        micro-protocols report what they *did* (retries, breaker trips,
+        deadline sheds, stale serves, …) via :meth:`MicroProtocol.incr`, and
+        experiments chart availability from these numbers.
+        """
+        with self._mp_lock:
+            micro_protocols = list(self._micro_protocols.values())
+        stats = {}
+        for micro_protocol in micro_protocols:
+            counters = micro_protocol.stats()
+            if counters:
+                stats[micro_protocol.name] = counters
+        return stats
+
 
 class MicroProtocol:
     """Base class for micro-protocols.
@@ -249,6 +266,8 @@ class MicroProtocol:
             self.name = name
         self._composite: CompositeProtocol | None = None
         self._bindings: list[Binding] = []
+        self._counters: dict[str, int] = {}
+        self._counters_lock = threading.Lock()
 
     def _attach(self, composite: CompositeProtocol) -> None:
         self._composite = composite
@@ -287,3 +306,15 @@ class MicroProtocol:
         for binding in self._bindings:
             binding.unbind()
         self._bindings.clear()
+
+    # -- observability -----------------------------------------------------
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        """Bump a named counter (surfaces in ``composite.protocol_stats()``)."""
+        with self._counters_lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of this micro-protocol's counters."""
+        with self._counters_lock:
+            return dict(self._counters)

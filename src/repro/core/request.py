@@ -37,6 +37,15 @@ PB_PRIORITY = "cqos_priority"
 PB_ENCRYPTED = "cqos_encrypted"
 PB_SIGNATURE = "cqos_signature"
 PB_FORWARDED = "cqos_forwarded"
+#: Absolute deadline (seconds on the shared monotonic clock) after which
+#: processing the request is wasted work.  Attached client-side by
+#: DeadlineBudget; honoured server-side by DeadlineShed.  Within one process
+#: every composite's RealClock shares the monotonic epoch; a multi-machine
+#: deployment would carry a *relative* budget instead.
+PB_DEADLINE = "cqos_deadline"
+#: Send-attempt number (1 = first try), stamped by the retry micro-protocols
+#: so servers and traces can distinguish retries from first sends.
+PB_ATTEMPT = "cqos_attempt"
 
 
 @dataclass
@@ -118,6 +127,40 @@ class Request:
     @property
     def client_id(self) -> str:
         return str(self.piggyback.get(PB_CLIENT_ID, ""))
+
+    # -- deadline / attempt metadata (resilience micro-protocols) ------------
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute monotonic deadline, or None when no budget is attached."""
+        value = self.piggyback.get(PB_DEADLINE)
+        return float(value) if value is not None else None
+
+    @deadline.setter
+    def deadline(self, value: float | None) -> None:
+        if value is None:
+            self.piggyback.pop(PB_DEADLINE, None)
+        else:
+            self.piggyback[PB_DEADLINE] = float(value)
+
+    def remaining_budget(self, now: float) -> float | None:
+        """Seconds left before the deadline at time ``now`` (None = no deadline)."""
+        deadline = self.deadline
+        return None if deadline is None else deadline - now
+
+    def deadline_expired(self, now: float) -> bool:
+        """True when a deadline is attached and already passed at ``now``."""
+        deadline = self.deadline
+        return deadline is not None and now >= deadline
+
+    @property
+    def attempt(self) -> int:
+        """The send-attempt number (1-based; 1 when never retried)."""
+        return int(self.piggyback.get(PB_ATTEMPT, 1))
+
+    @attempt.setter
+    def attempt(self, value: int) -> None:
+        self.piggyback[PB_ATTEMPT] = int(value)
 
     # -- completion ----------------------------------------------------------
 

@@ -13,7 +13,7 @@ from repro.http.message import (
 )
 from repro.net.transport import Connection, Network
 from repro.serialization.jser import jser_dumps, jser_loads
-from repro.util.errors import CommunicationError, InvocationError
+from repro.util.errors import CommunicationError, InvocationError, rehydrate_system_error
 
 
 class HttpClient:
@@ -77,7 +77,9 @@ class HttpClient:
         if isinstance(body, BaseException):
             raise body
         if isinstance(body, dict):
-            raise InvocationError(body.get("type", "HttpError"), body.get("message", ""))
+            raise rehydrate_system_error(
+                body.get("type", "HttpError"), body.get("message", "")
+            )
         raise InvocationError("HttpError", f"status {response.status}")
 
     def close(self) -> None:

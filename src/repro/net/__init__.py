@@ -13,6 +13,11 @@ of two interchangeable transports:
   interface with length-prefixed frames, for integration tests that want an
   actual kernel network path.
 
+:class:`~repro.net.chaos.ChaosNetwork` decorates either transport with a
+seedable :class:`~repro.net.chaos.FaultPlan` (loss, latency/jitter,
+duplication, reorder, corruption, resets, partitions, scheduled
+crash/recover), giving both wires one deterministic fault-injection API.
+
 Both expose the same shape: ``network.host(name)`` returns a
 :class:`~repro.net.transport.Host`; hosts ``listen(service, handler)`` and
 ``connect("host/service")``; connections make blocking ``call(bytes)->bytes``
@@ -22,6 +27,7 @@ request/reply exchanges, the only primitive the middleware layers need.
 from repro.net.transport import Connection, Host, Listener, Network
 from repro.net.memory import InMemoryNetwork
 from repro.net.tcp import TcpNetwork
+from repro.net.chaos import ChaosNetwork, ChaosStats, FaultPlan
 
 __all__ = [
     "Network",
@@ -30,4 +36,7 @@ __all__ = [
     "Connection",
     "InMemoryNetwork",
     "TcpNetwork",
+    "ChaosNetwork",
+    "ChaosStats",
+    "FaultPlan",
 ]

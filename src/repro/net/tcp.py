@@ -22,7 +22,15 @@ import struct
 import threading
 
 from repro.net.transport import Connection, FrameHandler, Host, Listener, Network, split_address
-from repro.util.errors import CommunicationError, ServerFailedError, TimeoutError_
+from repro.util.errors import (
+    CommunicationError,
+    FrameTooLargeError,
+    ServerFailedError,
+    TimeoutError_,
+)
+from repro.util.log import get_logger
+
+logger = get_logger("net.tcp")
 
 _LEN = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024
@@ -44,13 +52,34 @@ def read_frame(sock: socket.socket) -> bytes:
     """Read one length-prefixed frame from ``sock``."""
     (length,) = _LEN.unpack(_read_exact(sock, _LEN.size))
     if length > _MAX_FRAME:
-        raise CommunicationError(f"frame too large: {length} bytes")
+        raise FrameTooLargeError(f"frame too large: {length} bytes (max {_MAX_FRAME})")
     return _read_exact(sock, length)
 
 
 def write_frame(sock: socket.socket, data: bytes) -> None:
-    """Write one length-prefixed frame to ``sock``."""
+    """Write one length-prefixed frame to ``sock``.
+
+    Refuses frames over the limit *before* any byte hits the wire, so an
+    oversized payload fails fast on the sending side instead of being
+    rejected (and reset) by the receiver mid-stream.
+    """
+    if len(data) > _MAX_FRAME:
+        raise FrameTooLargeError(f"frame too large: {len(data)} bytes (max {_MAX_FRAME})")
     sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _reset_connection(sock: socket.socket) -> None:
+    """Close ``sock`` with an immediate RST so a blocked peer fails fast."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
 
 
 class _TcpListener(Listener):
@@ -62,6 +91,7 @@ class _TcpListener(Listener):
         self._closed = False
         self._lock = threading.Lock()
         self._server_sock: socket.socket | None = None
+        self._suspended = False
         self._accepted: set[socket.socket] = set()
         self._open()
 
@@ -76,8 +106,9 @@ class _TcpListener(Listener):
         sock.listen(64)
         with self._lock:
             self._server_sock = sock
+            self._suspended = False
         port = sock.getsockname()[1]
-        self._network._resolve_table[self.address] = port
+        self._network._publish(self.address, port)
         threading.Thread(
             target=self._accept_loop, args=(sock,), daemon=True, name=f"tcp-accept-{self.address}"
         ).start()
@@ -89,7 +120,16 @@ class _TcpListener(Listener):
             except OSError:
                 return  # socket closed
             with self._lock:
-                self._accepted.add(conn)
+                # A connection can sit in the kernel backlog across a crash;
+                # accepting it after suspend() must not resurrect the host.
+                if self._suspended:
+                    stale = True
+                else:
+                    self._accepted.add(conn)
+                    stale = False
+            if stale:
+                _reset_connection(conn)
+                continue
             threading.Thread(
                 target=self._serve, args=(conn,), daemon=True, name=f"tcp-serve-{self.address}"
             ).start()
@@ -97,15 +137,44 @@ class _TcpListener(Listener):
     def _serve(self, conn: socket.socket) -> None:
         try:
             with conn:
-                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    return  # crash injection closed the socket before we ran
                 while True:
                     try:
                         request = read_frame(conn)
+                    except FrameTooLargeError as exc:
+                        # The payload was never read; the stream is now
+                        # unframed garbage.  Reset so the (possibly still
+                        # sending) peer fails promptly with a connection
+                        # error instead of blocking until its timeout.
+                        logger.warning("%s: %s; resetting connection", self.address, exc)
+                        _reset_connection(conn)
+                        return
                     except (CommunicationError, OSError):
                         return
-                    reply = self._handler(request)
+                    with self._lock:
+                        suspended = self._suspended
+                    if suspended:
+                        # Crashed between reading the request and serving it:
+                        # a dead host must not execute work.
+                        _reset_connection(conn)
+                        return
+                    try:
+                        reply = self._handler(request)
+                    except BaseException:  # noqa: BLE001 - keep serving thread honest
+                        # Handlers marshal their own errors; one that raises
+                        # anyway must not silently strand the blocked client.
+                        logger.exception("%s: handler raised; resetting connection", self.address)
+                        _reset_connection(conn)
+                        return
                     try:
                         write_frame(conn, reply)
+                    except FrameTooLargeError as exc:
+                        logger.warning("%s: reply %s; resetting connection", self.address, exc)
+                        _reset_connection(conn)
+                        return
                     except OSError:
                         return
         finally:
@@ -115,6 +184,7 @@ class _TcpListener(Listener):
     def suspend(self) -> None:
         """Crash injection: close the server socket and every live connection."""
         with self._lock:
+            self._suspended = True
             if self._server_sock is not None:
                 try:
                     self._server_sock.close()
@@ -131,7 +201,7 @@ class _TcpListener(Listener):
                 conn.close()
             except OSError:
                 pass
-        self._network._resolve_table.pop(self.address, None)
+        self._network._unpublish(self.address)
 
     def resume(self) -> None:
         """Recovery: re-open on a fresh port under the same address."""
@@ -162,7 +232,7 @@ class _TcpConnection(Connection):
 
     def _ensure_socket(self) -> socket.socket:
         if self._sock is None:
-            port = self._network._resolve_table.get(self._address)
+            port = self._network._resolve(self._address)
             if port is None:
                 raise ServerFailedError(f"no listener at {self._address}")
             sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
@@ -209,7 +279,7 @@ class _TcpHost(Host):
 
     def listen(self, service: str, handler: FrameHandler) -> Listener:
         address = f"{self.name}/{service}"
-        if address in self._network._resolve_table:
+        if self._network._resolve(address) is not None:
             raise CommunicationError(f"address already in use: {address}")
         listener = _TcpListener(self._network, self.name, service, handler)
         self._network._track_listener(self.name, listener)
@@ -224,10 +294,27 @@ class TcpNetwork(Network):
     """A set of logical hosts backed by loopback TCP sockets."""
 
     def __init__(self) -> None:
+        # The name table is mutated from listener open/suspend paths that run
+        # on accept/recovery threads and read from every client call: all
+        # access goes through the locked helpers below.
         self._resolve_table: dict[str, int] = {}
         self._hosts: dict[str, _TcpHost] = {}
         self._listeners: dict[str, list[_TcpListener]] = {}
         self._lock = threading.Lock()
+
+    # -- name table (lock-guarded) ----------------------------------------
+
+    def _publish(self, address: str, port: int) -> None:
+        with self._lock:
+            self._resolve_table[address] = port
+
+    def _unpublish(self, address: str) -> None:
+        with self._lock:
+            self._resolve_table.pop(address, None)
+
+    def _resolve(self, address: str) -> int | None:
+        with self._lock:
+            return self._resolve_table.get(address)
 
     def host(self, name: str) -> Host:
         with self._lock:

@@ -34,6 +34,7 @@ from repro.util.errors import (
     CommunicationError,
     InvocationError,
     ReproError,
+    rehydrate_system_error,
 )
 from repro.util.ids import IdGenerator
 
@@ -243,7 +244,7 @@ class Orb:
                 raise reply.body
             raise InvocationError("UserException", repr(reply.body))
         body = reply.body if isinstance(reply.body, dict) else {}
-        raise InvocationError(
+        raise rehydrate_system_error(
             body.get("type", "SystemException"), body.get("message", "")
         )
 

@@ -19,11 +19,17 @@ is reproduced is their packaging as composable micro-protocols.
 from repro.qos.base import ClientBase, ServerBase
 from repro.qos.fault_tolerance import (
     ActiveRep,
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineShed,
+    Degrade,
     FirstSuccess,
     MajorityVote,
     PassiveRep,
     PassiveRepServer,
     Retransmit,
+    RetryBackoff,
+    Stale,
     TotalOrder,
 )
 from repro.qos.security import AccessControl, DesPrivacy, DesPrivacyServer, SignedIntegrity, SignedIntegrityServer
@@ -47,6 +53,12 @@ __all__ = [
     "MajorityVote",
     "TotalOrder",
     "Retransmit",
+    "RetryBackoff",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DeadlineShed",
+    "Degrade",
+    "Stale",
     "DesPrivacy",
     "DesPrivacyServer",
     "SignedIntegrity",

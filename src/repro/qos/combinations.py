@@ -45,6 +45,11 @@ FT_COMBINATIONS = (
 SECURITY_FEATURES = ("privacy", "integrity", "access")
 TIMELINESS_FEATURES = ("priority", "queued", "timed")
 
+#: Resilience extensions (not part of the paper's 192-point matrix — they
+#: compose orthogonally with every combination, so they are vocabulary for
+#: :func:`validate_configuration`, not extra axes of :func:`all_combinations`).
+RESILIENCE_FEATURES = ("retry", "breaker", "degrade", "deadline")
+
 #: Which side(s) each feature's micro-protocols live on.
 CLIENT_SIDE = {
     FT_PASSIVE: ("PassiveRep",),
@@ -54,6 +59,10 @@ CLIENT_SIDE = {
     FT_ACTIVE_VOTE_TOTAL: ("ActiveRep", "MajorityVote"),
     "privacy": ("DesPrivacy",),
     "integrity": ("SignedIntegrity",),
+    "retry": ("RetryBackoff",),
+    "breaker": ("CircuitBreaker",),
+    "degrade": ("Degrade",),
+    "deadline": ("DeadlineBudget",),
 }
 
 SERVER_SIDE = {
@@ -66,6 +75,7 @@ SERVER_SIDE = {
     "priority": ("PrioritySched",),
     "queued": ("QueuedSched",),
     "timed": ("TimedSched",),
+    "deadline": ("DeadlineShed",),
 }
 
 
@@ -153,10 +163,17 @@ def validate_configuration(
     - at most one of the queue-based/timed schedulers (both schedule the
       same queue events); PrioritySched composes with either;
     - paired protocols (privacy, integrity, passive replication) must be
-      configured on both sides.
+      configured on both sides;
+    - Retransmit and RetryBackoff are mutually exclusive — both rebind the
+      same failure, so configuring both multiplies retry traffic.
     """
     client = set(client_names)
     server = set(server_names)
+
+    if {"Retransmit", "RetryBackoff"} <= client:
+        raise ConfigurationError(
+            "Retransmit and RetryBackoff are mutually exclusive (double retry)"
+        )
 
     ft = client & _CLIENT_FT
     if len(ft) > 1:

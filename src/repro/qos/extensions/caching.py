@@ -84,6 +84,17 @@ class ClientCache(MicroProtocol):
                 # A write: everything this client cached may be stale.
                 self._cache.clear()
 
+    def peek(self, request: Request) -> tuple[bool, object]:
+        """Look up the cached value for ``request`` without completing it.
+
+        Returns ``(hit, value)``.  Ignores freshness on purpose: the caller
+        is the graceful-degradation path (Degrade), where an *expired* entry
+        is still the best available answer — "stale" is the whole point.
+        """
+        with self.shared.lock:
+            entry = self._cache.get(self._key(request))
+        return (True, entry[0]) if entry is not None else (False, None)
+
     def invalidate(self) -> None:
         """Explicit invalidation hook for applications."""
         with self.shared.lock:

@@ -26,6 +26,18 @@ Extensions beyond the prototype: :class:`~repro.qos.fault_tolerance.retransmit.R
 (transient network failures), request logging + recovery
 (:mod:`~repro.qos.fault_tolerance.logging_recovery`), and a client-side
 failure detector (:mod:`~repro.qos.fault_tolerance.membership`).
+
+Resilience suite (extensions; see ``docs/RESILIENCE.md``):
+
+- :class:`~repro.qos.fault_tolerance.resilience.RetryBackoff` — exponential
+  backoff + decorrelated jitter + retry budget;
+- :class:`~repro.qos.fault_tolerance.resilience.CircuitBreaker` — per-server
+  closed/open/half-open breaker with fail-fast and probing;
+- :class:`~repro.qos.fault_tolerance.deadline.DeadlineBudget` /
+  :class:`~repro.qos.fault_tolerance.deadline.DeadlineShed` — deadline
+  propagation client-side, expired-work shedding server-side;
+- :class:`~repro.qos.fault_tolerance.degrade.Degrade` — serve last-known-good
+  (stale-marked) values when every other layer has given up.
 """
 
 from repro.qos.fault_tolerance.active import ActiveRep
@@ -33,6 +45,9 @@ from repro.qos.fault_tolerance.passive import PassiveRep, PassiveRepServer
 from repro.qos.fault_tolerance.acceptance import FirstSuccess, MajorityVote
 from repro.qos.fault_tolerance.total_order import TotalOrder
 from repro.qos.fault_tolerance.retransmit import Retransmit
+from repro.qos.fault_tolerance.resilience import CircuitBreaker, RetryBackoff
+from repro.qos.fault_tolerance.deadline import DeadlineBudget, DeadlineShed
+from repro.qos.fault_tolerance.degrade import Degrade, Stale
 from repro.qos.fault_tolerance.logging_recovery import RequestLog, replay_log
 from repro.qos.fault_tolerance.membership import FailureDetector
 
@@ -44,6 +59,12 @@ __all__ = [
     "MajorityVote",
     "TotalOrder",
     "Retransmit",
+    "RetryBackoff",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DeadlineShed",
+    "Degrade",
+    "Stale",
     "RequestLog",
     "replay_log",
     "FailureDetector",

@@ -1,0 +1,133 @@
+"""Deadline propagation and expired-work shedding (extension).
+
+The timeliness micro-protocols (§3.4) bound *waiting*; these two bound
+*work*.  :class:`DeadlineBudget` runs client-side and attaches an absolute
+deadline to every request (piggybacked under
+:data:`~repro.core.request.PB_DEADLINE`, so it crosses all three platform
+adapters as invocation context).  :class:`DeadlineShed` runs server-side
+and refuses to start requests whose deadline has already passed — the
+client stopped waiting, so invoking the servant would be pure wasted work
+("work shedding" in overload-control terms).
+
+A shed surfaces on the client as
+:class:`~repro.util.errors.DeadlineExceededError` (rehydrated to its real
+class by the platform adapters), which is deliberately *not* retryable:
+retrying an already-late request makes the overload worse.  Pair with
+:class:`~repro.qos.fault_tolerance.degrade.Degrade` to serve a stale cached
+value instead of an error.
+
+Deadlines are absolute values on the shared monotonic clock; see the
+:data:`~repro.core.request.PB_DEADLINE` note for the single-process
+assumption.
+"""
+
+from __future__ import annotations
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_FIRST, Occurrence
+from repro.core.events import (
+    EV_INVOKE_FAILURE,
+    EV_NEW_REQUEST,
+    EV_NEW_SERVER_REQUEST,
+    EV_READY_TO_SEND,
+)
+from repro.core.request import Reply, Request
+from repro.util.errors import DeadlineExceededError
+from repro.util.log import get_logger
+
+logger = get_logger("qos.deadline")
+
+
+@register_micro_protocol("DeadlineBudget")
+class DeadlineBudget(MicroProtocol):
+    """Client side: attach a time budget; shed sends that can't make it.
+
+    On ``newRequest`` the request gets ``deadline = now + budget`` (unless
+    the caller piggybacked one already — explicit deadlines win).  On every
+    ``readyToSend`` — including retries raised by the retry micro-protocols —
+    an already-expired request is failed locally instead of being sent, so a
+    slow first attempt does not cascade into doomed retries.
+    """
+
+    name = "DeadlineBudget"
+
+    def __init__(self, budget: float):
+        """``budget`` is the per-request time allowance in seconds."""
+        super().__init__()
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self._budget = budget
+
+    def start(self) -> None:
+        self.bind(EV_NEW_REQUEST, self.attach_deadline, order=ORDER_FIRST)
+        self.bind(EV_READY_TO_SEND, self.shed_expired, order=ORDER_FIRST)
+
+    def attach_deadline(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        if request.deadline is None:
+            request.deadline = self.composite.runtime.clock.now() + self._budget
+            self.incr("attached")
+
+    def shed_expired(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        server: int = occurrence.args[1]
+        now = self.composite.runtime.clock.now()
+        if not request.deadline_expired(now):
+            return
+        self.incr("client_sheds")
+        logger.debug(
+            "shedding %s to server %d client-side: deadline passed",
+            request.operation, server,
+        )
+        reply = Reply(
+            server=server,
+            exception=DeadlineExceededError(
+                f"deadline passed before send of {request.operation}"
+            ),
+            failed=True,
+        )
+        request.add_reply(reply)
+        occurrence.halt()
+        self.raise_event(EV_INVOKE_FAILURE, request, server, reply)
+
+
+@register_micro_protocol("DeadlineShed")
+class DeadlineShed(MicroProtocol):
+    """Server side: refuse to start requests whose deadline already passed.
+
+    Binds first on ``newServerRequest`` and halts *everything* (including
+    the base getParameters) for expired requests, failing them with
+    :class:`~repro.util.errors.DeadlineExceededError` — the reply still goes
+    back (marshalled as a system exception) so the client learns promptly,
+    but the servant is never invoked.
+
+    ``grace`` loosens the cut-off: a request is shed only when it is more
+    than ``grace`` seconds past its deadline (covers clock-read skew between
+    composites; 0 by default since one process shares one clock).
+    """
+
+    name = "DeadlineShed"
+
+    def __init__(self, grace: float = 0.0):
+        super().__init__()
+        if grace < 0:
+            raise ValueError("grace must be >= 0")
+        self._grace = grace
+
+    def start(self) -> None:
+        self.bind(EV_NEW_SERVER_REQUEST, self.shed_expired, order=ORDER_FIRST)
+
+    def shed_expired(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        now = self.composite.runtime.clock.now()
+        if not request.deadline_expired(now - self._grace):
+            return
+        self.incr("sheds")
+        logger.debug("shedding %s server-side: deadline passed", request.operation)
+        occurrence.halt_all()
+        request.fail(
+            DeadlineExceededError(
+                f"deadline passed before {request.operation} started; shed"
+            )
+        )

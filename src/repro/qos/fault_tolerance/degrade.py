@@ -1,0 +1,147 @@
+"""Graceful degradation: serve last-known-good results on total failure.
+
+The paper's availability properties (§3.2) mask failures with redundancy;
+this extension handles the case where redundancy has run out — every
+replica failed, the circuit is open, or the deadline is spent — by
+completing the request with the *last known good* value for the same
+operation and parameters, explicitly marked stale, instead of surfacing an
+error.  Read-mostly clients keep limping along through an outage ("static"
+content keeps rendering while the backend is down).
+
+The protocol records good replies on ``invokeSuccess`` and acts on
+``invokeFailure`` at :data:`~repro.cactus.events.ORDER_LATE`, i.e. only on
+failures no earlier protocol absorbed: retries (ORDER_FIRST) and failover
+(ORDER_EARLY) have already halted the occurrences they handled, so a
+failure reaching LATE is about to fail the request.
+
+Composition rules:
+
+- install Degrade *before* an acceptance micro-protocol (FirstSuccess /
+  MajorityVote) so its handler runs first within ORDER_LATE, and set
+  ``expected_replies`` to the replica count so stale values are only served
+  once every replica has failed;
+- in the default non-replicated pipeline the defaults are right: one failed
+  reply is terminal.
+
+A stale completion sets ``request.attributes[ATTR_STALE]`` and bumps the
+``stale_serves`` counter; with ``wrap=True`` the caller instead receives a
+:class:`Stale` wrapper so staleness is visible in the return value itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_LATE, Occurrence
+from repro.core.events import EV_INVOKE_FAILURE, EV_INVOKE_SUCCESS
+from repro.core.request import Reply, Request
+from repro.qos.extensions.caching import ClientCache
+from repro.util.log import get_logger
+
+logger = get_logger("qos.degrade")
+
+#: request.attributes key set to True when the result served is stale.
+ATTR_STALE = "degrade_stale"
+
+
+@dataclass(frozen=True)
+class Stale:
+    """A last-known-good value served during an outage (``wrap=True``)."""
+
+    value: Any
+    stale: bool = True
+
+
+@register_micro_protocol("Degrade")
+class Degrade(MicroProtocol):
+    """Complete terminally-failed requests with the last known good value."""
+
+    name = "Degrade"
+
+    def __init__(
+        self,
+        operations: tuple[str, ...] | list[str] = (),
+        expected_replies: int | None = None,
+        cache: ClientCache | None = None,
+        wrap: bool = False,
+    ):
+        """``operations``: names eligible for stale serves (empty = all;
+        restrict to idempotent reads — serving a stale value for a *write*
+        would silently claim the write happened).
+
+        ``expected_replies``: how many failed replies make a failure
+        terminal (default 1, right for the non-replicated pipeline; set to
+        the replica count under ActiveRep).
+
+        ``cache``: an optional :class:`ClientCache` consulted as a fallback
+        source of last-known-good values (its entries are used even when
+        expired — stale is the point).
+
+        ``wrap``: return :class:`Stale` wrappers instead of bare values.
+        """
+        super().__init__()
+        self._operations = frozenset(operations)
+        self._expected = 1 if expected_replies is None else expected_replies
+        if self._expected < 1:
+            raise ValueError("expected_replies must be >= 1")
+        self._cache = cache
+        self._wrap = wrap
+        # (operation, params-repr) -> last good value; guarded by shared.lock.
+        self._known_good: dict[tuple, Any] = {}
+
+    def start(self) -> None:
+        self.bind(EV_INVOKE_SUCCESS, self.record_good, order=ORDER_LATE)
+        self.bind(EV_INVOKE_FAILURE, self.serve_stale, order=ORDER_LATE)
+
+    # -- handlers -----------------------------------------------------------
+
+    def record_good(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        reply: Reply = occurrence.args[2]
+        if reply.exception is not None or not self._eligible(request):
+            return
+        with self.shared.lock:
+            self._known_good[self._key(request)] = reply.value
+
+    def serve_stale(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        if request.completed or not self._eligible(request):
+            return
+        if not self._terminal(request):
+            return  # replication may still produce a real answer
+        hit, value = self._lookup(request)
+        if not hit:
+            self.incr("misses")
+            return
+        self.incr("stale_serves")
+        logger.debug("serving stale value for %s", request.operation)
+        request.attributes[ATTR_STALE] = True
+        request.complete(Stale(value) if self._wrap else value)
+        occurrence.halt()  # the base returner must not fail the request
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _key(request: Request) -> tuple:
+        return (request.operation, repr(request.get_params()))
+
+    def _eligible(self, request: Request) -> bool:
+        return not self._operations or request.operation in self._operations
+
+    def _terminal(self, request: Request) -> bool:
+        replies = request.replies()
+        if len(replies) < self._expected:
+            return False
+        return all(reply.failed for reply in replies.values())
+
+    def _lookup(self, request: Request) -> tuple[bool, Any]:
+        with self.shared.lock:
+            key = self._key(request)
+            if key in self._known_good:
+                return True, self._known_good[key]
+        if self._cache is not None:
+            return self._cache.peek(request)
+        return False, None

@@ -1,0 +1,370 @@
+"""Production-grade retry and circuit-breaking micro-protocols (extension).
+
+The paper's §3.2 names retransmission as an easy extension;
+:class:`~repro.qos.fault_tolerance.retransmit.Retransmit` is the minimal
+fixed-attempt version.  This module grows that idea into the two resilience
+patterns heavy-traffic deployments actually run, expressed in the paper's
+own idiom — composable micro-protocols over the CQoS event space:
+
+- :class:`RetryBackoff` — exponential backoff with decorrelated jitter and a
+  token-bucket *retry budget*, so a flaky link is ridden out without a
+  retry storm amplifying an outage;
+- :class:`CircuitBreaker` — a closed/open/half-open breaker per server
+  binding that fails fast while a server is sick and probes it back to
+  health, converting hammering into load-shedding.
+
+Both delegate failure classification to
+:func:`repro.util.errors.is_retryable`, the single shared notion of "worth
+retrying" (lost message / reset / timeout: yes; crashed host / expired
+deadline / open breaker: no).
+
+Composition (client side, order matters within one order class)::
+
+    [DeadlineBudget(0.5), CircuitBreaker(), RetryBackoff(), Degrade(), ClientBase()]
+
+Counters (``composite.protocol_stats()``): RetryBackoff reports ``retries``,
+``give_ups``, ``budget_exhausted``, ``deadline_abandoned``; CircuitBreaker
+reports ``trips``, ``reopens``, ``recoveries``, ``rejected``, ``probes``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.config import register_micro_protocol
+from repro.cactus.events import ORDER_EARLY, ORDER_FIRST, Occurrence
+from repro.core.client import SHARED_PLATFORM
+from repro.core.events import EV_INVOKE_FAILURE, EV_INVOKE_SUCCESS, EV_READY_TO_SEND
+from repro.core.interfaces import ClientPlatform
+from repro.core.request import Reply, Request
+from repro.util.errors import (
+    CircuitOpenError,
+    CommunicationError,
+    DeadlineExceededError,
+    is_retryable,
+)
+from repro.util.log import get_logger
+
+logger = get_logger("qos.resilience")
+
+#: request.attributes key: per-server attempt counts for RetryBackoff.
+ATTR_RETRY_ATTEMPTS = "retry_backoff_attempts"
+#: request.attributes key: per-server previous backoff delay (decorrelated jitter).
+ATTR_RETRY_PREV_DELAY = "retry_backoff_prev_delay"
+#: request.attributes key: True on requests the breaker let through as probes.
+ATTR_BREAKER_PROBE = "circuit_breaker_probe"
+
+
+@register_micro_protocol("RetryBackoff")
+class RetryBackoff(MicroProtocol):
+    """Retry transient failures with exponential backoff + jitter + budget.
+
+    ``max_attempts`` counts total tries (first send included).  The delay
+    before retry *k* is drawn with decorrelated jitter,
+    ``min(max_delay, U(base_delay, prev_delay * 3))`` (AWS's recommendation),
+    falling back to capped exponential ``base_delay * 2**(k-1)`` when
+    ``jitter=False``.
+
+    ``retry_budget`` caps *global* retries in flight-weighted terms: every
+    retry spends one token, every successful invocation refills
+    ``budget_refill`` tokens (up to the cap).  When the bucket is empty the
+    failure propagates immediately — under a real outage the budget drains
+    and the client degrades instead of amplifying traffic.
+
+    Deadline-aware: when the request carries a deadline (see
+    :class:`~repro.qos.fault_tolerance.deadline.DeadlineBudget`), a retry
+    that could not complete before the deadline is abandoned.
+    """
+
+    name = "RetryBackoff"
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.02,
+        max_delay: float = 1.0,
+        jitter: bool = True,
+        retry_budget: float | None = None,
+        budget_refill: float = 0.1,
+        seed: int | None = None,
+    ):
+        super().__init__()
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        self._max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._jitter = jitter
+        self._budget_cap = retry_budget
+        self._budget = retry_budget
+        self._budget_refill = budget_refill
+        self._budget_lock = threading.Lock()
+        self._rng = random.Random(seed)
+
+    def start(self) -> None:
+        self.bind(EV_INVOKE_FAILURE, self.maybe_retry, order=ORDER_FIRST)
+        self.bind(EV_INVOKE_SUCCESS, self.refill_budget, order=ORDER_FIRST)
+
+    # -- handlers ----------------------------------------------------------
+
+    def refill_budget(self, occurrence: Occurrence) -> None:
+        if self._budget_cap is None:
+            return
+        with self._budget_lock:
+            self._budget = min(self._budget_cap, self._budget + self._budget_refill)
+
+    def maybe_retry(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        server: int = occurrence.args[1]
+        reply: Reply = occurrence.args[2]
+        if not is_retryable(reply.exception):
+            return  # crashed host / spent deadline / open breaker: not ours
+        with request.mutex:
+            attempts = request.attributes.get(ATTR_RETRY_ATTEMPTS, {}).get(server, 1)
+            if attempts >= self._max_attempts:
+                self.incr("give_ups")
+                return
+            clock = self.composite.runtime.clock
+            now = clock.now()
+            if request.deadline_expired(now):
+                self.incr("deadline_abandoned")
+                return
+            delay = self._next_delay(request, server, attempts)
+            remaining = request.remaining_budget(now)
+            if remaining is not None and delay >= remaining:
+                # The retry could not possibly answer in time.
+                self.incr("deadline_abandoned")
+                return
+            if not self._spend_token():
+                self.incr("budget_exhausted")
+                return
+            request.attributes.setdefault(ATTR_RETRY_ATTEMPTS, {})[server] = attempts + 1
+            request.attributes.setdefault(ATTR_RETRY_PREV_DELAY, {})[server] = delay
+            request.attempt = attempts + 1
+        self.incr("retries")
+        logger.debug(
+            "retrying %s on server %d (attempt %d, delay %.3fs)",
+            request.operation, server, attempts + 1, delay,
+        )
+        if delay > 0.0:
+            self.raise_event(EV_READY_TO_SEND, request, server, delay=delay)
+        else:
+            self.raise_event(EV_READY_TO_SEND, request, server, mode="async")
+        occurrence.halt()
+
+    # -- internals ---------------------------------------------------------
+
+    def _next_delay(self, request: Request, server: int, attempts: int) -> float:
+        if not self._jitter:
+            return min(self._max_delay, self._base_delay * (2 ** (attempts - 1)))
+        previous = request.attributes.get(ATTR_RETRY_PREV_DELAY, {}).get(
+            server, self._base_delay
+        )
+        return min(
+            self._max_delay, self._rng.uniform(self._base_delay, max(previous, self._base_delay) * 3)
+        )
+
+    def _spend_token(self) -> bool:
+        if self._budget_cap is None:
+            return True
+        with self._budget_lock:
+            if self._budget < 1.0:
+                return False
+            self._budget -= 1.0
+            return True
+
+    @property
+    def remaining_budget(self) -> float | None:
+        """Tokens left in the retry budget (None = unlimited)."""
+        with self._budget_lock:
+            return self._budget
+
+
+class _BreakerState:
+    """Mutable per-server breaker state (guarded by the breaker's lock)."""
+
+    __slots__ = ("state", "consecutive_failures", "window", "opened_at", "probes")
+
+    def __init__(self, window_size: int):
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.window: deque[bool] = deque(maxlen=window_size)  # True = failure
+        self.opened_at = 0.0
+        self.probes = 0
+
+
+@register_micro_protocol("CircuitBreaker")
+class CircuitBreaker(MicroProtocol):
+    """Per-server-binding circuit breaker (closed → open → half-open).
+
+    Trips when ``failure_threshold`` consecutive communication failures are
+    seen on a binding, or — when ``error_rate_threshold`` is set — when the
+    failure fraction over the last ``window`` outcomes reaches it.  While
+    open, ``readyToSend`` for that server is rejected locally with
+    :class:`~repro.util.errors.CircuitOpenError` (no message is sent).
+    After ``open_duration`` seconds the breaker turns half-open and lets up
+    to ``half_open_probes`` requests through; a probe success closes the
+    breaker (and rebinds the server — the paper's recovery path: "the bind()
+    operation can also be used to rebind to a failed server"), a probe
+    failure re-opens it.
+
+    Self-inflicted rejections and deadline sheds do not count as server
+    failures — the breaker measures the server's health, not the client's
+    impatience.
+    """
+
+    name = "CircuitBreaker"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        error_rate_threshold: float | None = None,
+        window: int = 20,
+        open_duration: float = 1.0,
+        half_open_probes: int = 1,
+    ):
+        super().__init__()
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if error_rate_threshold is not None and not 0.0 < error_rate_threshold <= 1.0:
+            raise ValueError("error_rate_threshold must be in (0, 1]")
+        self._failure_threshold = failure_threshold
+        self._error_rate_threshold = error_rate_threshold
+        self._window_size = window
+        self._open_duration = open_duration
+        self._half_open_probes = half_open_probes
+        self._lock = threading.Lock()
+        self._servers: dict[int, _BreakerState] = {}
+
+    def start(self) -> None:
+        self.bind(EV_READY_TO_SEND, self.gate, order=ORDER_EARLY)
+        self.bind(EV_INVOKE_SUCCESS, self.record_success, order=ORDER_FIRST)
+        self.bind(EV_INVOKE_FAILURE, self.record_failure, order=ORDER_FIRST)
+
+    # -- introspection ------------------------------------------------------
+
+    def state(self, server: int) -> str:
+        """The breaker state for ``server``: closed, open, or half-open."""
+        with self._lock:
+            return self._servers.get(server, _BreakerState(1)).state
+
+    # -- handlers ----------------------------------------------------------
+
+    def gate(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        server: int = occurrence.args[1]
+        now = self.composite.runtime.clock.now()
+        probe = False
+        allowed = True
+        with self._lock:
+            breaker = self._breaker(server)
+            if breaker.state == "open":
+                if now - breaker.opened_at >= self._open_duration:
+                    breaker.state = "half-open"
+                    breaker.probes = 0
+                else:
+                    allowed = False
+            if allowed and breaker.state == "half-open":
+                if breaker.probes >= self._half_open_probes:
+                    allowed = False
+                else:
+                    breaker.probes += 1
+                    probe = True
+        if not allowed:
+            self._reject(request, server, occurrence)
+            return
+        if probe:
+            self.incr("probes")
+            request.attributes[ATTR_BREAKER_PROBE] = True
+            # Rebind so a recovered server's stale failure mark is cleared
+            # before the probe, otherwise server_status() short-circuits it.
+            platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
+            try:
+                platform.bind(server)
+            except CommunicationError:
+                with self._lock:
+                    self._reopen(self._breaker(server), now)
+                self._reject(request, server, occurrence)
+
+    def record_success(self, occurrence: Occurrence) -> None:
+        server: int = occurrence.args[1]
+        with self._lock:
+            breaker = self._breaker(server)
+            if breaker.state == "half-open":
+                breaker.state = "closed"
+                self.incr("recoveries")
+            breaker.consecutive_failures = 0
+            breaker.window.append(False)
+
+    def record_failure(self, occurrence: Occurrence) -> None:
+        server: int = occurrence.args[1]
+        reply: Reply = occurrence.args[2]
+        if not self._counts_as_failure(reply.exception):
+            return
+        now = self.composite.runtime.clock.now()
+        tripped = False
+        with self._lock:
+            breaker = self._breaker(server)
+            if breaker.state == "half-open":
+                self._reopen(breaker, now)
+                return
+            if breaker.state == "open":
+                return
+            breaker.consecutive_failures += 1
+            breaker.window.append(True)
+            if breaker.consecutive_failures >= self._failure_threshold:
+                tripped = True
+            elif (
+                self._error_rate_threshold is not None
+                and len(breaker.window) >= self._window_size
+                and sum(breaker.window) / len(breaker.window) >= self._error_rate_threshold
+            ):
+                tripped = True
+            if tripped:
+                breaker.state = "open"
+                breaker.opened_at = now
+        if tripped:
+            self.incr("trips")
+            logger.debug("circuit breaker tripped for server %d", server)
+
+    # -- internals ---------------------------------------------------------
+
+    def _breaker(self, server: int) -> _BreakerState:
+        breaker = self._servers.get(server)
+        if breaker is None:
+            breaker = _BreakerState(self._window_size)
+            self._servers[server] = breaker
+        return breaker
+
+    def _reopen(self, breaker: _BreakerState, now: float) -> None:
+        breaker.state = "open"
+        breaker.opened_at = now
+        breaker.probes = 0
+        self.incr("reopens")
+
+    def _reject(self, request: Request, server: int, occurrence: Occurrence) -> None:
+        """Fail the send locally without touching the wire (lock NOT held:
+        the raised invokeFailure runs arbitrary handlers in this thread)."""
+        self.incr("rejected")
+        reply = Reply(
+            server=server,
+            exception=CircuitOpenError(
+                f"circuit open for server {server}: {request.operation} rejected"
+            ),
+            failed=True,
+        )
+        request.add_reply(reply)
+        occurrence.halt()
+        self.raise_event(EV_INVOKE_FAILURE, request, server, reply)
+
+    @staticmethod
+    def _counts_as_failure(exception: BaseException | None) -> bool:
+        """Server-health failures only: not our own rejections or deadline sheds."""
+        if isinstance(exception, (CircuitOpenError, DeadlineExceededError)):
+            return False
+        return isinstance(exception, CommunicationError)

@@ -25,7 +25,7 @@ from repro.cactus.config import register_micro_protocol
 from repro.cactus.events import ORDER_FIRST, Occurrence
 from repro.core.events import EV_INVOKE_FAILURE, EV_READY_TO_SEND
 from repro.core.request import Reply, Request
-from repro.util.errors import CommunicationError, ServerFailedError
+from repro.util.errors import is_retryable
 from repro.util.log import get_logger
 
 logger = get_logger("qos.retransmit")
@@ -75,6 +75,5 @@ class Retransmit(MicroProtocol):
 
     @staticmethod
     def _is_transient(exception: BaseException | None) -> bool:
-        return isinstance(exception, CommunicationError) and not isinstance(
-            exception, ServerFailedError
-        )
+        # One shared notion of "worth retrying" across all retry protocols.
+        return is_retryable(exception)

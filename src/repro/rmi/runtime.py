@@ -24,7 +24,12 @@ from repro.idl.compiler import CompiledIdl, IdlRemoteException, InterfaceDef
 from repro.net.transport import Connection, Network
 from repro.rmi import jrmp
 from repro.serialization.registry import global_registry
-from repro.util.errors import BindError, CommunicationError, InvocationError
+from repro.util.errors import (
+    BindError,
+    CommunicationError,
+    InvocationError,
+    rehydrate_system_error,
+)
 from repro.util.ids import IdGenerator
 
 
@@ -197,7 +202,7 @@ class RmiRuntime:
         if not isinstance(reply, jrmp.ReturnMessage):
             raise CommunicationError("expected a JRMP return message")
         if reply.system_error is not None:
-            raise InvocationError(
+            raise rehydrate_system_error(
                 reply.system_error.get("type", "SystemError"),
                 reply.system_error.get("message", ""),
             )

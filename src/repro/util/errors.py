@@ -51,6 +51,33 @@ class ServerFailedError(CommunicationError):
     """The target server (or every replica) has crashed."""
 
 
+class FrameTooLargeError(CommunicationError):
+    """A transport frame exceeded the maximum frame size.
+
+    Raised client-side before sending an oversized request; a server that
+    receives an oversized frame closes the connection instead (the peer sees
+    a plain :class:`CommunicationError`).
+    """
+
+
+class DeadlineExceededError(TimeoutError_):
+    """A request's deadline budget expired before it could be served.
+
+    Raised client-side when the deadline passes before (re)sending, and
+    server-side by the load-shedding micro-protocol when a request arrives
+    already doomed.  Registered wire-safe so a server-side shed rehydrates
+    to this same type at the client (see :func:`rehydrate_system_error`).
+    """
+
+
+class CircuitOpenError(CommunicationError):
+    """The circuit breaker is open: the call was rejected without sending.
+
+    Deliberately *not* retryable — the breaker exists to stop retries from
+    hammering a failing server; only its own half-open probes go through.
+    """
+
+
 class AccessDeniedError(ReproError):
     """The access-control micro-protocol rejected the request."""
 
@@ -61,3 +88,74 @@ class IntegrityError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid micro-protocol configuration was requested."""
+
+
+# -- failure classification ---------------------------------------------------
+#
+# One shared answer to "is this worth retrying?" so that every retry-shaped
+# micro-protocol (Retransmit, RetryBackoff) and the circuit breaker agree.
+#
+# Retryable: transient delivery failures — message loss, connection reset,
+# partition flaps, plain timeouts.  A lost *request* never executed; a lost
+# *reply* re-executes, so non-idempotent operations should pair retries with
+# the server-side duplicate-suppression cache (PassiveRepServer's SHARED_SEEN).
+#
+# Not retryable:
+# - ServerFailedError — the host is crashed; failover (replication) is the
+#   right reaction, retrying a dead host only delays it;
+# - DeadlineExceededError — the budget is spent; retrying cannot un-spend it;
+# - CircuitOpenError — the breaker rejected the call locally; retrying
+#   would defeat the breaker's purpose;
+# - everything non-communication (marshalling, access control, application
+#   exceptions) — retrying deterministic failures reproduces them.
+
+#: CommunicationError subtypes that must NOT be retried.
+NON_RETRYABLE_COMMUNICATION = (ServerFailedError, DeadlineExceededError, CircuitOpenError)
+
+
+def is_retryable(exception: BaseException | None) -> bool:
+    """True when ``exception`` is a transient delivery failure worth retrying."""
+    return isinstance(exception, CommunicationError) and not isinstance(
+        exception, NON_RETRYABLE_COMMUNICATION
+    )
+
+
+def classify_error(exception: BaseException | None) -> str:
+    """Coarse failure class: ``"retryable"``, ``"fatal"``, or ``"application"``.
+
+    ``"fatal"`` covers delivery failures that retrying cannot fix (crashed
+    host, spent deadline, open breaker); ``"application"`` is everything
+    that reached the servant or failed outside the communication layer.
+    """
+    if is_retryable(exception):
+        return "retryable"
+    if isinstance(exception, CommunicationError):
+        return "fatal"
+    return "application"
+
+
+# -- wire-safe system errors --------------------------------------------------
+#
+# The three platforms marshal non-IDL server exceptions as a {type, message}
+# system-error description and normally re-raise InvocationError(type,
+# message) at the client.  Errors registered here instead rehydrate to their
+# real class, preserving their classification across the wire.  The registry
+# is a deliberate allowlist: rehydrating e.g. ServerFailedError raised
+# *inside* a server-side handler chain would be indistinguishable from a
+# locally detected crash of the target itself and would mislead failover.
+
+_WIRE_SAFE_ERRORS: dict[str, type] = {
+    "DeadlineExceededError": DeadlineExceededError,
+}
+
+
+def rehydrate_system_error(type_name: str, message: str) -> Exception:
+    """Build the client-side exception for a remote ``{type, message}``.
+
+    Returns an instance of the registered class for wire-safe types, and an
+    :class:`InvocationError` (the historical behaviour) otherwise.
+    """
+    cls = _WIRE_SAFE_ERRORS.get(type_name)
+    if cls is not None:
+        return cls(message)
+    return InvocationError(type_name, message)
