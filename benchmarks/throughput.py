@@ -1,0 +1,333 @@
+"""Closed-loop multiplexing throughput harness (PR 2).
+
+Measures request/reply throughput and latency for N closed-loop clients
+sharing ONE transport connection, across:
+
+- network: in-memory and loopback TCP,
+- connection mode: ``serialized`` (the pre-multiplexing one-in-flight
+  baseline) vs ``mux`` (v2 correlation-id frames, concurrent in-flight),
+- clients: 1 and 8 threads,
+- servant variant: ``echo`` (no work — pure transport cost) and ``work``
+  (~0.5 ms of servant CPU per call — the regime where multiplexing lets the
+  server overlap requests instead of serializing them behind the wire).
+
+Also runs a marshalling micro-benchmark: the compiled per-signature plan
+(:mod:`repro.serialization.compiled`) against the recursive
+:func:`~repro.orb.typed_marshal.write_typed` tree walk for one
+``set_balance``/``get_balance``-style signature.
+
+Results go to ``BENCH_PR2.json``.  Exit status is non-zero if 8-client TCP
+multiplexing fails to beat the 8-client serialized baseline — the CI smoke
+gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/throughput.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net.memory import InMemoryNetwork  # noqa: E402
+from repro.net.tcp import TcpNetwork  # noqa: E402
+
+WORK_SECONDS = 0.0005  # ~0.5 ms of blocking servant work per "work" call
+
+
+def echo_handler(frame: bytes) -> bytes:
+    return frame
+
+
+def work_handler(frame: bytes) -> bytes:
+    # Blocking (GIL-releasing) servant work — a downstream call, disk read,
+    # or lock wait.  This is the regime multiplexing exists for: a serialized
+    # connection stalls every queued caller behind it, a multiplexed one
+    # overlaps the waits across server workers.
+    time.sleep(WORK_SECONDS)
+    return frame
+
+
+def run_scenario(
+    network, *, clients: int, calls_per_client: int, variant: str
+) -> dict:
+    """Closed loop: ``clients`` threads share one connection, each issuing
+    ``calls_per_client`` sequential calls; returns throughput/latency stats."""
+    handler = work_handler if variant == "work" else echo_handler
+    server = network.host("server")
+    listener = server.listen("bench", handler)
+    client_host = network.host("client")
+    connection = client_host.connect("server/bench")
+    payload = b"x" * 64
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+    start_barrier = threading.Barrier(clients + 1)
+
+    def client_loop(slot: int) -> None:
+        times = latencies[slot]
+        try:
+            start_barrier.wait()
+            for _ in range(calls_per_client):
+                t0 = time.perf_counter()
+                reply = connection.call(payload, timeout=30.0)
+                times.append(time.perf_counter() - t0)
+                assert reply == payload
+        except BaseException as exc:  # noqa: BLE001 - reported in results
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    connection.close()
+    listener.close()
+    if errors:
+        raise errors[0]
+    flat = sorted(t for times in latencies for t in times)
+    total_calls = len(flat)
+    return {
+        "clients": clients,
+        "variant": variant,
+        "calls": total_calls,
+        "wall_s": round(wall, 6),
+        "rps": round(total_calls / wall, 1) if wall > 0 else 0.0,
+        "mean_ms": round(statistics.fmean(flat) * 1e3, 4),
+        "p50_ms": round(flat[total_calls // 2] * 1e3, 4),
+        "p99_ms": round(flat[min(total_calls - 1, int(total_calls * 0.99))] * 1e3, 4),
+    }
+
+
+def network_factories():
+    return {
+        ("memory", "serialized"): lambda: InMemoryNetwork(serialize_connections=True),
+        ("memory", "mux"): lambda: InMemoryNetwork(),
+        ("tcp", "serialized"): lambda: TcpNetwork(multiplex=False),
+        ("tcp", "mux"): lambda: TcpNetwork(multiplex=True),
+    }
+
+
+MARSHAL_IDL = """
+module bench {
+  interface Probe {
+    void record(in long a, in unsigned long b, in double c,
+                in boolean d, in string note);
+  };
+};
+"""
+
+
+def run_marshal_bench(iterations: int) -> dict:
+    """Compiled signature plan vs the recursive tree walk, same wire bytes.
+
+    The signature has a four-primitive fixed prefix (fused into one
+    ``struct.pack`` by the plan) and a string tail — the common shape of the
+    paper's operations."""
+    from repro.idl.compiler import compile_idl
+    from repro.orb.typed_marshal import (
+        marshal_arguments,
+        read_typed,
+        unmarshal_arguments,
+        write_typed,
+    )
+    from repro.serialization.cdr import CdrInputStream, CdrOutputStream
+
+    compiled = compile_idl(MARSHAL_IDL)
+    interface = compiled.interface("bench::Probe")
+    operation = interface.operation("record")
+    args = _sample_arguments(operation, compiled)
+
+    def tree_walk() -> bytes:
+        out = CdrOutputStream()
+        for param, value in zip(operation.params, args):
+            write_typed(out, param.type, value, compiled)
+        return out.getvalue()
+
+    body = tree_walk()
+    assert marshal_arguments(operation, args, compiled) == body
+
+    def tree_read() -> list:
+        stream = CdrInputStream(body)
+        return [read_typed(stream, p.type, compiled) for p in operation.params]
+
+    assert unmarshal_arguments(operation, body, compiled) == tree_read()
+
+    # Interleaved best-of-5 so CPU frequency drift after the throughput
+    # phase cannot bias one side of the comparison.
+    tree_s = plan_s = rtree_s = rplan_s = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            tree_walk()
+        tree_s = min(tree_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            marshal_arguments(operation, args, compiled)
+        plan_s = min(plan_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            tree_read()
+        rtree_s = min(rtree_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            unmarshal_arguments(operation, body, compiled)
+        rplan_s = min(rplan_s, time.perf_counter() - t0)
+    return {
+        "operation": operation.name,
+        "iterations": iterations,
+        "tree_walk_us": round(tree_s / iterations * 1e6, 3),
+        "compiled_plan_us": round(plan_s / iterations * 1e6, 3),
+        "speedup": round(tree_s / plan_s, 2) if plan_s > 0 else None,
+        "unmarshal_tree_us": round(rtree_s / iterations * 1e6, 3),
+        "unmarshal_plan_us": round(rplan_s / iterations * 1e6, 3),
+        "unmarshal_speedup": round(rtree_s / rplan_s, 2) if rplan_s > 0 else None,
+    }
+
+
+def _sample_arguments(operation, compiled) -> list:
+    from repro.idl.ast import BasicType, NamedType, SequenceType
+
+    samples = []
+    for param in operation.params:
+        t = param.type
+        if isinstance(t, BasicType):
+            samples.append(
+                {
+                    "boolean": True,
+                    "string": "bench",
+                    "float": 1.5,
+                    "double": 1.5,
+                    "any": "bench",
+                }.get(t.kind, 7)
+            )
+        elif isinstance(t, SequenceType):
+            samples.append([])
+        elif isinstance(t, NamedType):
+            cls = compiled.structs.get(t.name) or compiled.exceptions.get(t.name)
+            samples.append(cls(**{m: 0 for m in cls.__members__}))
+    return samples
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny iteration counts (CI)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+        help="output JSON path",
+    )
+    options = parser.parse_args(argv)
+
+    calls_per_client = 40 if options.smoke else 400
+    marshal_iterations = 500 if options.smoke else 20000
+
+    results = []
+    for (net_name, mode), factory in network_factories().items():
+        for clients in (1, 8):
+            for variant in ("echo", "work"):
+                network = factory()
+                try:
+                    row = run_scenario(
+                        network,
+                        clients=clients,
+                        calls_per_client=calls_per_client,
+                        variant=variant,
+                    )
+                finally:
+                    network.close()
+                row["network"] = net_name
+                row["mode"] = mode
+                results.append(row)
+                print(
+                    f"{net_name:>6} {mode:>10} {clients}c {variant:>4}: "
+                    f"{row['rps']:>9} rps  p50 {row['p50_ms']} ms  "
+                    f"p99 {row['p99_ms']} ms"
+                )
+
+    marshal = run_marshal_bench(marshal_iterations)
+    print(
+        f"marshal {marshal['operation']}: tree {marshal['tree_walk_us']} us  "
+        f"plan {marshal['compiled_plan_us']} us  x{marshal['speedup']}"
+    )
+    print(
+        f"unmarshal {marshal['operation']}: tree {marshal['unmarshal_tree_us']} us  "
+        f"plan {marshal['unmarshal_plan_us']} us  x{marshal['unmarshal_speedup']}"
+    )
+
+    def rps_of(network: str, mode: str, clients: int, variant: str) -> float:
+        for row in results:
+            if (
+                row["network"] == network
+                and row["mode"] == mode
+                and row["clients"] == clients
+                and row["variant"] == variant
+            ):
+                return row["rps"]
+        raise KeyError((network, mode, clients, variant))
+
+    serial_8c = rps_of("tcp", "serialized", 8, "work")
+    mux_8c = rps_of("tcp", "mux", 8, "work")
+    summary = {
+        "tcp_serialized_8c_work_rps": serial_8c,
+        "tcp_mux_8c_work_rps": mux_8c,
+        "tcp_mux_speedup_8c_work": round(mux_8c / serial_8c, 2) if serial_8c else None,
+        "tcp_mux_speedup_8c_echo": round(
+            rps_of("tcp", "mux", 8, "echo") / rps_of("tcp", "serialized", 8, "echo"), 2
+        ),
+        "tcp_single_client_work_p50_ms": {
+            "serialized": next(
+                r["p50_ms"]
+                for r in results
+                if (r["network"], r["mode"], r["clients"], r["variant"])
+                == ("tcp", "serialized", 1, "work")
+            ),
+            "mux": next(
+                r["p50_ms"]
+                for r in results
+                if (r["network"], r["mode"], r["clients"], r["variant"])
+                == ("tcp", "mux", 1, "work")
+            ),
+        },
+        "memory_mux_speedup_8c_work": round(
+            rps_of("memory", "mux", 8, "work")
+            / rps_of("memory", "serialized", 8, "work"),
+            2,
+        ),
+    }
+    report = {
+        "bench": "throughput-pr2",
+        "smoke": options.smoke,
+        "calls_per_client": calls_per_client,
+        "results": results,
+        "marshal": marshal,
+        "summary": summary,
+    }
+    Path(options.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {options.out}")
+    print(f"mux@8c work speedup: {summary['tcp_mux_speedup_8c_work']}x")
+
+    if mux_8c <= serial_8c:
+        print("FAIL: tcp mux@8clients did not beat the serialized baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
 from repro.http.message import (
@@ -11,6 +10,7 @@ from repro.http.message import (
     parse_response,
     piggyback_headers,
 )
+from repro.net.pool import ConnectionPool
 from repro.net.transport import Connection, Network
 from repro.serialization.jser import jser_dumps, jser_loads
 from repro.util.errors import CommunicationError, InvocationError, rehydrate_system_error
@@ -19,29 +19,21 @@ from repro.util.errors import CommunicationError, InvocationError, rehydrate_sys
 class HttpClient:
     """Invoke operations on objects served by :class:`HttpObjectServer`.
 
-    Connections are cached per endpoint address and re-opened on failure.
+    Connections are pooled per endpoint address (bounded LRU) and re-opened
+    on failure.
     """
 
     def __init__(self, network: Network, host_name: str):
         self._network = network
         self.host_name = host_name
         self._host = network.host(host_name)
-        self._connections: dict[str, Connection] = {}
-        self._lock = threading.Lock()
+        self._pool = ConnectionPool(self._host)
 
     def _connection(self, address: str) -> Connection:
-        with self._lock:
-            connection = self._connections.get(address)
-            if connection is None:
-                connection = self._host.connect(address)
-                self._connections[address] = connection
-            return connection
+        return self._pool.get(address)
 
     def drop_connection(self, address: str) -> None:
-        with self._lock:
-            connection = self._connections.pop(address, None)
-        if connection is not None:
-            connection.close()
+        self._pool.drop(address)
 
     def post(
         self,
@@ -83,11 +75,7 @@ class HttpClient:
         raise InvocationError("HttpError", f"status {response.status}")
 
     def close(self) -> None:
-        with self._lock:
-            connections = list(self._connections.values())
-            self._connections.clear()
-        for connection in connections:
-            connection.close()
+        self._pool.close()
 
 
 class HttpStub:

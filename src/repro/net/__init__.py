@@ -10,7 +10,8 @@ of two interchangeable transports:
   the benchmarks (LAN-like latency) so the paper's message-count-dominated
   cost shape survives.
 - :class:`~repro.net.tcp.TcpNetwork` — real TCP sockets on the loopback
-  interface with length-prefixed frames, for integration tests that want an
+  interface with correlation-id-multiplexed frames (many concurrent
+  in-flight calls per connection), for integration tests that want an
   actual kernel network path.
 
 :class:`~repro.net.chaos.ChaosNetwork` decorates either transport with a
@@ -26,6 +27,7 @@ request/reply exchanges, the only primitive the middleware layers need.
 
 from repro.net.transport import Connection, Host, Listener, Network
 from repro.net.memory import InMemoryNetwork
+from repro.net.pool import ConnectionPool
 from repro.net.tcp import TcpNetwork
 from repro.net.chaos import ChaosNetwork, ChaosStats, FaultPlan
 
@@ -34,6 +36,7 @@ __all__ = [
     "Host",
     "Listener",
     "Connection",
+    "ConnectionPool",
     "InMemoryNetwork",
     "TcpNetwork",
     "ChaosNetwork",

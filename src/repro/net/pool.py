@@ -1,0 +1,88 @@
+"""Bounded, LRU-evicting connection pool shared by the middleware clients.
+
+Every substrate client (the ORB, the RMI runtime, the HTTP client) used to
+keep its own ``dict[str, Connection]`` behind its own lock.  With
+multiplexed transports a cached connection is a genuinely shared resource —
+one socket carries many concurrent in-flight calls — so pooling policy
+(bounds, eviction, crash invalidation) belongs in one place.
+
+The pool is crash-aware by delegation: callers invalidate an address with
+:meth:`drop` when a call on it fails at the communication level, and the
+next :meth:`get` opens a fresh connection that re-resolves through the
+transport's name table (picking up a recovered server's new port).
+
+Eviction closes the least-recently-used connection once ``max_size`` is
+exceeded.  With a multiplexed transport, closing a connection fails its
+in-flight calls, so ``max_size`` defaults high enough that eviction only
+triggers in fan-out-heavy topologies (hundreds of distinct endpoints).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.transport import Connection, Host
+
+
+class ConnectionPool:
+    """LRU cache of :class:`Connection` objects keyed by address."""
+
+    def __init__(self, host: Host, max_size: int = 128):
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self._host = host
+        self._max_size = max_size
+        self._lock = threading.Lock()
+        # dict preserves insertion order; re-inserting on access keeps the
+        # least-recently-used entry first.
+        self._connections: dict[str, Connection] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, address: str) -> Connection:
+        """Return the pooled connection for ``address``, opening if needed."""
+        evicted: Connection | None = None
+        with self._lock:
+            connection = self._connections.pop(address, None)
+            if connection is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+                connection = self._host.connect(address)
+                if len(self._connections) >= self._max_size:
+                    oldest, evicted = next(iter(self._connections.items()))
+                    del self._connections[oldest]
+                    self._evictions += 1
+            self._connections[address] = connection  # most-recently-used last
+        if evicted is not None:
+            evicted.close()
+        return connection
+
+    def drop(self, address: str) -> None:
+        """Invalidate ``address`` (e.g. after a peer crash); idempotent."""
+        with self._lock:
+            connection = self._connections.pop(address, None)
+        if connection is not None:
+            connection.close()
+
+    def close(self) -> None:
+        """Close every pooled connection.  The pool stays usable."""
+        with self._lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._connections),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

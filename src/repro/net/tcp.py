@@ -1,13 +1,25 @@
-"""Real TCP loopback transport with length-prefixed frames.
+"""Real TCP loopback transport with multiplexed, correlation-id framing.
 
 Gives integration tests an actual kernel network path: every listener is a
-real socket on 127.0.0.1 with an ephemeral port, served by a thread per
-accepted connection.  A process-local name table maps ``"host/service"``
-addresses to ports so the two transports stay interchangeable.
+real socket on 127.0.0.1 with an ephemeral port.  A process-local name table
+maps ``"host/service"`` addresses to ports so the two transports stay
+interchangeable.
 
-Frames are ``>I``-length-prefixed byte strings; each ``call`` writes one
-request frame and blocks for one reply frame (a per-connection lock keeps
-concurrent callers from interleaving frames).
+Wire format v2 (the default, ``multiplex=True``): every frame carries a
+``>IQ`` header — payload length plus a 64-bit correlation id — so one TCP
+connection carries many concurrent in-flight calls.  The client side uses a
+leader/follower demultiplexer: the first caller waiting for a reply reads
+the socket and completes other callers' futures by correlation id, so a
+single-client workload takes exactly the old one-reader syscall path (no
+background thread, no handoff latency) while concurrent callers pipeline.
+The server side reads frames on one thread per connection and dispatches
+handlers inline when the socket has no further pipelined data, or onto a
+small per-connection worker pool when it does — again keeping the serial
+fast path allocation-free.
+
+Wire format v1 (``multiplex=False``): ``>I``-length-prefixed frames with one
+in-flight request per connection (a per-connection lock held across the
+round trip).  Kept as the measured baseline for the throughput benchmarks.
 
 Crash injection closes the host's server sockets and refuses new accepts
 until :meth:`TcpNetwork.recover`, at which point the same listeners re-open
@@ -17,9 +29,14 @@ table) — enough fidelity for failover tests.
 
 from __future__ import annotations
 
+import itertools
+import os
+import queue
+import select
 import socket
 import struct
 import threading
+import time
 
 from repro.net.transport import Connection, FrameHandler, Host, Listener, Network, split_address
 from repro.util.errors import (
@@ -33,7 +50,16 @@ from repro.util.log import get_logger
 logger = get_logger("net.tcp")
 
 _LEN = struct.Struct(">I")
+#: v2 frame header: payload length + correlation (request) id.
+_HDR2 = struct.Struct(">IQ")
 _MAX_FRAME = 64 * 1024 * 1024
+
+#: Per-connection server worker pool size for multiplexed dispatch.
+_SERVER_WORKERS = max(4, min(16, 2 * (os.cpu_count() or 1)))
+
+#: Inline handler duration (seconds) beyond which a connection's pipelined
+#: requests are dispatched to the worker pool instead of run inline.
+_SLOW_HANDLER = 0.0002
 
 
 def _read_exact(sock: socket.socket, n: int) -> bytes:
@@ -45,11 +71,11 @@ def _read_exact(sock: socket.socket, n: int) -> bytes:
             raise CommunicationError("peer closed the connection")
         chunks.append(chunk)
         remaining -= len(chunk)
-    return b"".join(chunks)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
 
 
 def read_frame(sock: socket.socket) -> bytes:
-    """Read one length-prefixed frame from ``sock``."""
+    """Read one v1 length-prefixed frame from ``sock``."""
     (length,) = _LEN.unpack(_read_exact(sock, _LEN.size))
     if length > _MAX_FRAME:
         raise FrameTooLargeError(f"frame too large: {length} bytes (max {_MAX_FRAME})")
@@ -57,7 +83,7 @@ def read_frame(sock: socket.socket) -> bytes:
 
 
 def write_frame(sock: socket.socket, data: bytes) -> None:
-    """Write one length-prefixed frame to ``sock``.
+    """Write one v1 length-prefixed frame to ``sock``.
 
     Refuses frames over the limit *before* any byte hits the wire, so an
     oversized payload fails fast on the sending side instead of being
@@ -66,6 +92,32 @@ def write_frame(sock: socket.socket, data: bytes) -> None:
     if len(data) > _MAX_FRAME:
         raise FrameTooLargeError(f"frame too large: {len(data)} bytes (max {_MAX_FRAME})")
     sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def read_frame_mux(sock: socket.socket) -> tuple[int, bytes]:
+    """Read one v2 frame; returns ``(request_id, payload)``."""
+    length, request_id = _HDR2.unpack(_read_exact(sock, _HDR2.size))
+    if length > _MAX_FRAME:
+        raise FrameTooLargeError(f"frame too large: {length} bytes (max {_MAX_FRAME})")
+    return request_id, _read_exact(sock, length)
+
+
+def write_frame_mux(sock: socket.socket, request_id: int, data) -> None:
+    """Write one v2 frame (length + correlation id header, then payload).
+
+    ``data`` may be any bytes-like object (``bytes``, ``bytearray``,
+    ``memoryview``) — the zero-copy encoder paths hand buffers straight in.
+    The caller is responsible for serializing writes on the socket.
+    """
+    size = len(data)
+    if size > _MAX_FRAME:
+        raise FrameTooLargeError(f"frame too large: {size} bytes (max {_MAX_FRAME})")
+    header = _HDR2.pack(size, request_id)
+    if size <= 0xFFFF and isinstance(data, bytes):
+        sock.sendall(header + data)
+    else:
+        sock.sendall(header)
+        sock.sendall(data)
 
 
 def _reset_connection(sock: socket.socket) -> None:
@@ -82,12 +134,62 @@ def _reset_connection(sock: socket.socket) -> None:
         pass
 
 
+def _has_pending_data(sock: socket.socket) -> bool:
+    """True when more request bytes are already buffered on ``sock``.
+
+    Drives the server's hybrid dispatch: an empty buffer means the client is
+    waiting for this reply (serial workload — run the handler inline); a
+    non-empty buffer means requests are pipelined (dispatch to the pool so
+    they execute concurrently)."""
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return False
+    return bool(readable)
+
+
+class _MuxServerPool:
+    """Small lazily-started worker pool serving one accepted connection."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self._started = 0
+
+    def dispatch(self, task) -> None:
+        with self._lock:
+            if self._started < _SERVER_WORKERS:
+                self._started += 1
+                threading.Thread(
+                    target=self._worker,
+                    daemon=True,
+                    name=f"{self._name}-w{self._started}",
+                ).start()
+        self._queue.put(task)
+
+    def _worker(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task is None:
+                return
+            task()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            started = self._started
+            self._started = _SERVER_WORKERS  # refuse new workers
+        for _ in range(started):
+            self._queue.put(None)
+
+
 class _TcpListener(Listener):
     def __init__(self, network: "TcpNetwork", host_name: str, service: str, handler: FrameHandler):
         self._network = network
         self._host_name = host_name
         self._service = service
         self._handler = handler
+        self._multiplex = network.multiplex
         self._closed = False
         self._lock = threading.Lock()
         self._server_sock: socket.socket | None = None
@@ -104,11 +206,19 @@ class _TcpListener(Listener):
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind(("127.0.0.1", 0))
         sock.listen(64)
+        port = sock.getsockname()[1]
         with self._lock:
+            # Publishing under the listener lock keeps the name table in
+            # step with the socket: a concurrent suspend() cannot slip its
+            # close+unpublish between our bind and publish and leave the
+            # table pointing at a dead port.  A concurrent resume that
+            # already re-opened wins; this socket is surplus.
+            if self._closed or self._server_sock is not None:
+                sock.close()
+                return
             self._server_sock = sock
             self._suspended = False
-        port = sock.getsockname()[1]
-        self._network._publish(self.address, port)
+            self._network._publish(self.address, port)
         threading.Thread(
             target=self._accept_loop, args=(sock,), daemon=True, name=f"tcp-accept-{self.address}"
         ).start()
@@ -130,9 +240,12 @@ class _TcpListener(Listener):
             if stale:
                 _reset_connection(conn)
                 continue
+            serve = self._serve_mux if self._multiplex else self._serve
             threading.Thread(
-                target=self._serve, args=(conn,), daemon=True, name=f"tcp-serve-{self.address}"
+                target=serve, args=(conn,), daemon=True, name=f"tcp-serve-{self.address}"
             ).start()
+
+    # -- v1 serving: one request in flight per connection ------------------
 
     def _serve(self, conn: socket.socket) -> None:
         try:
@@ -181,6 +294,87 @@ class _TcpListener(Listener):
             with self._lock:
                 self._accepted.discard(conn)
 
+    # -- v2 serving: correlation-id multiplexing ---------------------------
+
+    def _serve_mux(self, conn: socket.socket) -> None:
+        pool = _MuxServerPool(f"tcp-mux-{self.address}")
+        write_lock = threading.Lock()
+        # Concurrency only pays when the handler blocks or computes for a
+        # while; for sub-_SLOW_HANDLER handlers the pool handoff would cost
+        # more than it buys.  The flag is sticky per connection: the first
+        # observed slow inline execution routes all further pipelined
+        # requests to the pool.
+        handler_is_slow = False
+        try:
+            with conn:
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    return  # crash injection closed the socket before we ran
+                while True:
+                    try:
+                        request_id, request = read_frame_mux(conn)
+                    except FrameTooLargeError as exc:
+                        logger.warning("%s: %s; resetting connection", self.address, exc)
+                        _reset_connection(conn)
+                        return
+                    except (CommunicationError, OSError):
+                        return
+                    with self._lock:
+                        suspended = self._suspended
+                    if suspended:
+                        _reset_connection(conn)
+                        return
+                    if handler_is_slow and _has_pending_data(conn):
+                        # Pipelined requests behind this one and a handler
+                        # worth overlapping: run it on the pool so the
+                        # reader keeps draining the socket and in-flight
+                        # requests execute concurrently.
+                        pool.dispatch(
+                            lambda rid=request_id, req=request: self._serve_one(
+                                conn, write_lock, rid, req
+                            )
+                        )
+                    else:
+                        # Fast or serial workload: inline execution, no
+                        # handoff (the single-client path stays syscall-
+                        # identical to v1).
+                        started = time.monotonic()
+                        if not self._serve_one(conn, write_lock, request_id, request):
+                            return
+                        if time.monotonic() - started >= _SLOW_HANDLER:
+                            handler_is_slow = True
+        finally:
+            pool.shutdown()
+            with self._lock:
+                self._accepted.discard(conn)
+
+    def _serve_one(
+        self, conn: socket.socket, write_lock: threading.Lock, request_id: int, request: bytes
+    ) -> bool:
+        """Execute one request and write its correlated reply.
+
+        Returns False when the connection was reset and serving must stop.
+        """
+        try:
+            reply = self._handler(request)
+        except BaseException:  # noqa: BLE001 - keep serving thread honest
+            logger.exception("%s: handler raised; resetting connection", self.address)
+            _reset_connection(conn)
+            return False
+        try:
+            with write_lock:
+                write_frame_mux(conn, request_id, reply)
+        except FrameTooLargeError as exc:
+            logger.warning("%s: reply %s; resetting connection", self.address, exc)
+            _reset_connection(conn)
+            return False
+        except OSError:
+            return False
+        return True
+
+    # -- crash / recovery --------------------------------------------------
+
     def suspend(self) -> None:
         """Crash injection: close the server socket and every live connection."""
         with self._lock:
@@ -192,6 +386,10 @@ class _TcpListener(Listener):
                     self._server_sock = None
             accepted = list(self._accepted)
             self._accepted.clear()
+            # Unpublish under the same lock as the socket close, mirroring
+            # _open's publish, so crash/recover churn can never interleave
+            # into a table entry for a closed socket.
+            self._network._unpublish(self.address)
         for conn in accepted:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
@@ -201,7 +399,6 @@ class _TcpListener(Listener):
                 conn.close()
             except OSError:
                 pass
-        self._network._unpublish(self.address)
 
     def resume(self) -> None:
         """Recovery: re-open on a fresh port under the same address."""
@@ -217,10 +414,11 @@ class _TcpListener(Listener):
 
 
 class _TcpConnection(Connection):
-    """Lazy, auto-reconnecting client connection.
+    """v1 client connection: lazy, auto-reconnecting, one call in flight.
 
     The socket is (re-)established per call attempt if needed, so a server
     that crashed and recovered on a new port is transparently re-resolved.
+    Kept as the measured pre-multiplexing baseline (``multiplex=False``).
     """
 
     def __init__(self, network: "TcpNetwork", address: str):
@@ -272,6 +470,205 @@ class _TcpConnection(Connection):
             self._reset()
 
 
+class _PendingReply:
+    """One in-flight request awaiting its correlated reply."""
+
+    __slots__ = ("value", "error", "done")
+
+    def __init__(self) -> None:
+        self.value: bytes | None = None
+        self.error: BaseException | None = None
+        self.done = False
+
+
+class _TcpMuxConnection(Connection):
+    """v2 client connection: many concurrent in-flight calls, one socket.
+
+    Concurrency model (leader/follower):
+
+    - a *writer lock* is held only around ``sendall`` — requests from many
+      threads interleave frame-atomically on the wire;
+    - the first caller awaiting a reply becomes the *leader* and reads the
+      socket, completing every arriving reply's pending slot by correlation
+      id; other callers (followers) wait on the shared condition;
+    - when the leader's own reply arrives it steps down and wakes a
+      follower to take over the readership.
+
+    A follower's timeout discards its pending slot and leaves the stream
+    intact (its late reply is dropped on arrival); a *leader* timeout resets
+    the connection, because the read may have stopped mid-frame.  Crash
+    injection surfaces as a read error that fails every pending call, and
+    the next call transparently re-resolves through the name table.
+    """
+
+    def __init__(self, network: "TcpNetwork", address: str):
+        self._network = network
+        self._address = address
+        self._cond = threading.Condition()
+        self._write_lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._pending: dict[int, _PendingReply] = {}
+        self._ids = itertools.count(1)
+        self._reader_active = False
+        self._closed = False
+
+    # -- socket management (called with self._cond held) -------------------
+
+    def _ensure_socket(self) -> socket.socket:
+        if self._sock is None:
+            port = self._network._resolve(self._address)
+            if port is None:
+                raise ServerFailedError(f"no listener at {self._address}")
+            sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(None)
+            self._sock = sock
+        return self._sock
+
+    def _fail_all_locked(self, sock: socket.socket | None, error: BaseException) -> None:
+        """Fail every pending call and drop the socket (cond held)."""
+        if sock is not None and self._sock is sock:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        for slot in self._pending.values():
+            if not slot.done:
+                slot.error = error
+                slot.done = True
+        self._pending.clear()
+        self._reader_active = False
+        self._cond.notify_all()
+
+    # -- Connection interface ----------------------------------------------
+
+    def call(self, data: bytes, timeout: float | None = None) -> bytes:
+        if len(data) > _MAX_FRAME:
+            raise FrameTooLargeError(
+                f"frame too large: {len(data)} bytes (max {_MAX_FRAME})"
+            )
+        slot = _PendingReply()
+        with self._cond:
+            if self._closed:
+                raise CommunicationError("connection is closed")
+            try:
+                sock = self._ensure_socket()
+            except ServerFailedError:
+                raise
+            except OSError as exc:
+                raise CommunicationError(
+                    f"call to {self._address} failed: {exc}"
+                ) from exc
+            request_id = next(self._ids)
+            self._pending[request_id] = slot
+        try:
+            with self._write_lock:
+                write_frame_mux(sock, request_id, data)
+        except socket.timeout as exc:
+            with self._cond:
+                self._fail_all_locked(
+                    sock, CommunicationError(f"call to {self._address} failed: {exc}")
+                )
+            raise TimeoutError_(f"call to {self._address} timed out") from exc
+        except OSError as exc:
+            error = CommunicationError(f"call to {self._address} failed: {exc}")
+            with self._cond:
+                self._fail_all_locked(sock, error)
+            raise error from exc
+        return self._await_reply(sock, request_id, slot, timeout)
+
+    def _await_reply(
+        self,
+        sock: socket.socket,
+        request_id: int,
+        slot: _PendingReply,
+        timeout: float | None,
+    ) -> bytes:
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        while True:
+            with self._cond:
+                if slot.done:
+                    break
+                if not self._reader_active:
+                    self._reader_active = True
+                    lead = True
+                else:
+                    lead = False
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - _time.monotonic()
+                        if remaining <= 0:
+                            # Follower timeout: drop only this call; the
+                            # stream stays framed and the late reply is
+                            # discarded by the leader when it arrives.
+                            self._pending.pop(request_id, None)
+                            raise TimeoutError_(f"call to {self._address} timed out")
+                    self._cond.wait(remaining)
+                    continue
+            if lead:
+                self._lead_reads(sock, request_id, slot, deadline)
+        if slot.error is not None:
+            raise slot.error
+        return slot.value  # type: ignore[return-value]
+
+    def _lead_reads(
+        self,
+        sock: socket.socket,
+        request_id: int,
+        slot: _PendingReply,
+        deadline: float | None,
+    ) -> None:
+        """Read frames as the leader until our reply arrives (or error)."""
+        import time as _time
+
+        while True:
+            try:
+                if deadline is not None:
+                    remaining = deadline - _time.monotonic()
+                    if remaining <= 0:
+                        raise socket.timeout("deadline expired")
+                    sock.settimeout(remaining)
+                else:
+                    sock.settimeout(None)
+                reply_id, payload = read_frame_mux(sock)
+            except socket.timeout as exc:
+                # Leader timeout: the read may have stopped mid-frame, so
+                # the stream can no longer be trusted — reset everything.
+                with self._cond:
+                    self._fail_all_locked(
+                        sock,
+                        CommunicationError(f"call to {self._address} timed out"),
+                    )
+                    slot.error = TimeoutError_(f"call to {self._address} timed out")
+                    slot.done = True
+                raise slot.error from exc
+            except (OSError, CommunicationError, FrameTooLargeError) as exc:
+                error = CommunicationError(f"call to {self._address} failed: {exc}")
+                with self._cond:
+                    self._fail_all_locked(sock, error)
+                return  # our own slot was failed by _fail_all_locked
+            with self._cond:
+                arrived = self._pending.pop(reply_id, None)
+                if arrived is not None:
+                    arrived.value = payload
+                    arrived.done = True
+                if reply_id == request_id:
+                    # Step down and promote a waiting follower (if any).
+                    self._reader_active = False
+                    self._cond.notify_all()
+                    return
+                if arrived is not None:
+                    self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._fail_all_locked(self._sock, CommunicationError("connection is closed"))
+
+
 class _TcpHost(Host):
     def __init__(self, network: "TcpNetwork", name: str):
         super().__init__(name)
@@ -279,30 +676,61 @@ class _TcpHost(Host):
 
     def listen(self, service: str, handler: FrameHandler) -> Listener:
         address = f"{self.name}/{service}"
-        if self._network._resolve(address) is not None:
-            raise CommunicationError(f"address already in use: {address}")
-        listener = _TcpListener(self._network, self.name, service, handler)
+        # Atomic claim closes the check-then-act race: two concurrent
+        # listen() calls on one address cannot both pass a resolve() check.
+        self._network._claim(address)
+        try:
+            listener = _TcpListener(self._network, self.name, service, handler)
+        except BaseException:
+            self._network._release(address)
+            raise
         self._network._track_listener(self.name, listener)
         return listener
 
     def connect(self, address: str) -> Connection:
         split_address(address)
+        if self._network.multiplex:
+            return _TcpMuxConnection(self._network, address)
         return _TcpConnection(self._network, address)
 
 
 class TcpNetwork(Network):
-    """A set of logical hosts backed by loopback TCP sockets."""
+    """A set of logical hosts backed by loopback TCP sockets.
 
-    def __init__(self) -> None:
+    ``multiplex`` selects the wire format: v2 correlation-id frames with
+    concurrent in-flight calls per connection (default), or the v1
+    one-in-flight protocol kept as the benchmark baseline.  Both ends of a
+    network share the flag, so framing always matches.
+    """
+
+    def __init__(self, multiplex: bool = True) -> None:
         # The name table is mutated from listener open/suspend paths that run
         # on accept/recovery threads and read from every client call: all
         # access goes through the locked helpers below.
+        self.multiplex = multiplex
         self._resolve_table: dict[str, int] = {}
+        self._claimed: set[str] = set()
         self._hosts: dict[str, _TcpHost] = {}
         self._listeners: dict[str, list[_TcpListener]] = {}
         self._lock = threading.Lock()
 
     # -- name table (lock-guarded) ----------------------------------------
+
+    def _claim(self, address: str) -> None:
+        """Reserve ``address`` for a new listener (atomic duplicate check).
+
+        A claim outlives crash injection — a crashed listener still owns its
+        address until closed — so racing or post-crash duplicate listens
+        fail instead of colliding at recovery.
+        """
+        with self._lock:
+            if address in self._claimed:
+                raise CommunicationError(f"address already in use: {address}")
+            self._claimed.add(address)
+
+    def _release(self, address: str) -> None:
+        with self._lock:
+            self._claimed.discard(address)
 
     def _publish(self, address: str, port: int) -> None:
         with self._lock:
@@ -333,6 +761,7 @@ class TcpNetwork(Network):
             for listeners in self._listeners.values():
                 if listener in listeners:
                     listeners.remove(listener)
+            self._claimed.discard(listener.address)
 
     def crash(self, host_name: str) -> None:
         with self._lock:
@@ -351,5 +780,6 @@ class TcpNetwork(Network):
             all_listeners = [l for ls in self._listeners.values() for l in ls]
             self._listeners.clear()
             self._hosts.clear()
+            self._claimed.clear()
         for listener in all_listeners:
             listener.close()

@@ -25,6 +25,11 @@ class Connection(ABC):
     def call(self, data: bytes, timeout: float | None = None) -> bytes:
         """Send ``data``, block for the reply frame, and return it.
 
+        Connections are safe for concurrent callers: many threads may have
+        calls in flight on one connection at once, and each receives its own
+        correlated reply (multiplexed transports pipeline them; serialized
+        ones queue internally).
+
         Raises :class:`~repro.util.errors.CommunicationError` when the peer
         is crashed, partitioned away, or the message is lost, and
         :class:`~repro.util.errors.TimeoutError_` on deadline expiry.

@@ -17,11 +17,35 @@ truncated frames fail loudly instead of mis-decoding.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.serialization.cdr import CdrInputStream, CdrOutputStream
 from repro.util.errors import MarshalError
+
+# Encoders reuse one output stream per thread instead of allocating a fresh
+# bytearray per message; the in-use flag falls back to a private stream if an
+# encode ever nests inside another (e.g. a value type whose registry encoder
+# itself marshals), so reuse is purely an optimization, never a correctness
+# assumption.
+_tls = threading.local()
+
+
+def _borrow_stream() -> tuple[CdrOutputStream, bool]:
+    if getattr(_tls, "in_use", False):
+        return CdrOutputStream(), False
+    out = getattr(_tls, "stream", None)
+    if out is None:
+        out = _tls.stream = CdrOutputStream()
+    _tls.in_use = True
+    out.reset()
+    return out, True
+
+
+def _return_stream(shared: bool) -> None:
+    if shared:
+        _tls.in_use = False
 
 _MAGIC = b"GIOP"
 _VERSION = 1
@@ -74,36 +98,42 @@ def _check_header(stream: CdrInputStream) -> int:
 
 
 def encode_request(message: RequestMessage) -> bytes:
-    out = CdrOutputStream()
-    _header(out, MSG_REQUEST)
-    out.write_ulong(message.request_id)
-    out.write_string(message.object_key)
-    out.write_string(message.operation)
-    out.write_bool(message.response_expected)
-    if message.typed_body is not None:
-        out.write_bool(True)
-        out.write_bytes(message.typed_body)
-    else:
-        out.write_bool(False)
-        out.write_ulong(len(message.arguments))
-        for argument in message.arguments:
-            out.write_any(argument)
-    out.write_any(message.context)
-    return out.getvalue()
+    out, shared = _borrow_stream()
+    try:
+        _header(out, MSG_REQUEST)
+        out.write_ulong(message.request_id)
+        out.write_string(message.object_key)
+        out.write_string(message.operation)
+        out.write_bool(message.response_expected)
+        if message.typed_body is not None:
+            out.write_bool(True)
+            out.write_bytes(message.typed_body)
+        else:
+            out.write_bool(False)
+            out.write_ulong(len(message.arguments))
+            for argument in message.arguments:
+                out.write_any(argument)
+        out.write_any(message.context)
+        return out.getvalue()
+    finally:
+        _return_stream(shared)
 
 
 def encode_reply(message: ReplyMessage) -> bytes:
-    out = CdrOutputStream()
-    _header(out, MSG_REPLY)
-    out.write_ulong(message.request_id)
-    out.write_octet(message.status)
-    if message.typed_body is not None:
-        out.write_bool(True)
-        out.write_bytes(message.typed_body)
-    else:
-        out.write_bool(False)
-        out.write_any(message.body)
-    return out.getvalue()
+    out, shared = _borrow_stream()
+    try:
+        _header(out, MSG_REPLY)
+        out.write_ulong(message.request_id)
+        out.write_octet(message.status)
+        if message.typed_body is not None:
+            out.write_bool(True)
+            out.write_bytes(message.typed_body)
+        else:
+            out.write_bool(False)
+            out.write_any(message.body)
+        return out.getvalue()
+    finally:
+        _return_stream(shared)
 
 
 def decode_message(frame: bytes) -> RequestMessage | ReplyMessage:

@@ -23,6 +23,7 @@ import threading
 from typing import Any
 
 from repro.idl.compiler import CompiledIdl, IdlRemoteException
+from repro.net.pool import ConnectionPool
 from repro.net.transport import Connection, Network
 from repro.orb import giop
 from repro.orb.dii import DiiRequest
@@ -79,8 +80,7 @@ class Orb:
         self._poas: dict[str, Poa] = {}
         self._poa_lock = threading.Lock()
         self._request_ids = IdGenerator(host_name)
-        self._connections: dict[str, Connection] = {}
-        self._conn_lock = threading.Lock()
+        self._pool = ConnectionPool(self._host)
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -101,11 +101,7 @@ class Orb:
             self._listener.close()
             self._listener = None
         self._started = False
-        with self._conn_lock:
-            connections = list(self._connections.values())
-            self._connections.clear()
-        for connection in connections:
-            connection.close()
+        self._pool.close()
         with self._poa_lock:
             self._poas.clear()
 
@@ -150,19 +146,11 @@ class Orb:
     # -- client side -----------------------------------------------------------
 
     def _connection(self, address: str) -> Connection:
-        with self._conn_lock:
-            connection = self._connections.get(address)
-            if connection is None:
-                connection = self._host.connect(address)
-                self._connections[address] = connection
-            return connection
+        return self._pool.get(address)
 
     def drop_connection(self, address: str) -> None:
-        """Forget a cached connection (e.g. after a peer crash)."""
-        with self._conn_lock:
-            connection = self._connections.pop(address, None)
-        if connection is not None:
-            connection.close()
+        """Forget a pooled connection (e.g. after a peer crash)."""
+        self._pool.drop(address)
 
     def invoke(
         self,

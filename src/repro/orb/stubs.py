@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.idl.compiler import CompiledIdl, InterfaceDef, OperationDef
+from repro.orb.typed_marshal import build_plans
 from repro.util.errors import InvocationError
 
 if TYPE_CHECKING:
@@ -64,8 +65,15 @@ def _make_method(operation: OperationDef):
     return method
 
 
-def make_static_stub_class(interface: InterfaceDef) -> type:
+def make_static_stub_class(
+    interface: InterfaceDef, compiled: CompiledIdl | None = None
+) -> type:
     """Generate the static stub class for ``interface``.
+
+    When the compiled-IDL tables are passed, marshalling plans for every
+    operation are built here — at stub generation, the IDL-compiler moment —
+    so no invocation ever pays the plan-compilation cost.  Without them the
+    plans build lazily on first use (they cache on the ``OperationDef``).
 
     >>> StubCls = make_static_stub_class(compiled.interface("BankAccount"))
     >>> account = StubCls(orb, ior)
@@ -77,6 +85,8 @@ def make_static_stub_class(interface: InterfaceDef) -> type:
     }
     for operation in interface.operations.values():
         namespace[operation.name] = _make_method(operation)
+        if compiled is not None:
+            build_plans(operation, compiled)
     return type(f"{interface.simple_name}Stub", (StaticStub,), namespace)
 
 
@@ -87,6 +97,10 @@ class StaticSkeleton:
         self._servant = servant
         self._interface = interface
         self._compiled = compiled
+        # Skeleton creation is the server's IDL-compiler moment: build the
+        # marshalling plans for every operation up front.
+        for operation in interface.operations.values():
+            build_plans(operation, compiled)
 
     @property
     def interface(self) -> InterfaceDef:

@@ -24,6 +24,7 @@ from typing import Any
 from repro.idl.ast import BasicType, IdlType, NamedType, SequenceType
 from repro.idl.compiler import CompiledIdl, OperationDef
 from repro.serialization.cdr import CdrInputStream, CdrOutputStream
+from repro.serialization.compiled import SignaturePlan
 from repro.util.errors import MarshalError
 
 
@@ -149,6 +150,29 @@ def _check_int(kind: str, value: Any, low: int, high: int) -> None:
 
 
 # -- operation-level helpers ---------------------------------------------------
+#
+# These delegate to per-signature compiled plans
+# (:mod:`repro.serialization.compiled`): the IDL type tree is walked once per
+# operation to build flat pack/unpack programs, and every subsequent call
+# replays the program.  The wire bytes are identical to the recursive
+# :func:`write_typed` path above, which remains the reference encoder (and
+# the per-value entry point for struct members and ``any`` payloads).
+
+
+def build_plans(operation: OperationDef, compiled: CompiledIdl):
+    """Return ``(argument_plan, result_plan)`` for ``operation``, cached.
+
+    The cache lives on the ``OperationDef`` itself and is keyed by the
+    compiled-IDL table identity, since plans bind struct classes from it.
+    Called eagerly at stub/skeleton creation so the first invocation already
+    runs compiled."""
+    cached = getattr(operation, "_marshal_plans", None)
+    if cached is not None and cached[0] is compiled:
+        return cached[1], cached[2]
+    argument_plan = SignaturePlan([param.type for param in operation.params], compiled)
+    result_plan = SignaturePlan([operation.return_type], compiled)
+    operation._marshal_plans = (compiled, argument_plan, result_plan)
+    return argument_plan, result_plan
 
 
 def marshal_arguments(operation: OperationDef, args: list, compiled: CompiledIdl) -> bytes:
@@ -157,23 +181,21 @@ def marshal_arguments(operation: OperationDef, args: list, compiled: CompiledIdl
         raise MarshalError(
             f"{operation.name}() takes {len(operation.params)} arguments, got {len(args)}"
         )
-    out = CdrOutputStream()
-    for param, value in zip(operation.params, args):
-        write_typed(out, param.type, value, compiled)
-    return out.getvalue()
+    argument_plan, _ = build_plans(operation, compiled)
+    return argument_plan.marshal(args)
 
 
 def unmarshal_arguments(operation: OperationDef, body: bytes, compiled: CompiledIdl) -> list:
     """Compiled-skeleton argument unmarshalling."""
-    stream = CdrInputStream(body)
-    return [read_typed(stream, param.type, compiled) for param in operation.params]
+    argument_plan, _ = build_plans(operation, compiled)
+    return argument_plan.unmarshal(body)
 
 
 def marshal_result(operation: OperationDef, value: Any, compiled: CompiledIdl) -> bytes:
-    out = CdrOutputStream()
-    write_typed(out, operation.return_type, value, compiled)
-    return out.getvalue()
+    _, result_plan = build_plans(operation, compiled)
+    return result_plan.marshal([value])
 
 
 def unmarshal_result(operation: OperationDef, body: bytes, compiled: CompiledIdl) -> Any:
-    return read_typed(CdrInputStream(body), operation.return_type, compiled)
+    _, result_plan = build_plans(operation, compiled)
+    return result_plan.unmarshal(body)[0]

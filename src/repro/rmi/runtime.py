@@ -21,6 +21,7 @@ import threading
 from typing import Any, Protocol, runtime_checkable
 
 from repro.idl.compiler import CompiledIdl, IdlRemoteException, InterfaceDef
+from repro.net.pool import ConnectionPool
 from repro.net.transport import Connection, Network
 from repro.rmi import jrmp
 from repro.serialization.registry import global_registry
@@ -100,8 +101,7 @@ class RmiRuntime:
         self._exports: dict[str, _Export] = {}
         self._lock = threading.Lock()
         self._ids = IdGenerator(host_name)
-        self._connections: dict[str, Connection] = {}
-        self._conn_lock = threading.Lock()
+        self._pool = ConnectionPool(self._host)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -118,11 +118,7 @@ class RmiRuntime:
         if self._listener is not None:
             self._listener.close()
             self._listener = None
-        with self._conn_lock:
-            connections = list(self._connections.values())
-            self._connections.clear()
-        for connection in connections:
-            connection.close()
+        self._pool.close()
         with self._lock:
             self._exports.clear()
 
@@ -160,18 +156,10 @@ class RmiRuntime:
     # -- client side --------------------------------------------------------
 
     def _connection(self, address: str) -> Connection:
-        with self._conn_lock:
-            connection = self._connections.get(address)
-            if connection is None:
-                connection = self._host.connect(address)
-                self._connections[address] = connection
-            return connection
+        return self._pool.get(address)
 
     def drop_connection(self, address: str) -> None:
-        with self._conn_lock:
-            connection = self._connections.pop(address, None)
-        if connection is not None:
-            connection.close()
+        self._pool.drop(address)
 
     def call(
         self,

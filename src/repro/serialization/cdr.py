@@ -146,24 +146,49 @@ class CdrOutputStream:
     def getvalue(self) -> bytes:
         return bytes(self._buf)
 
+    def getbuffer(self) -> memoryview:
+        """Zero-copy view of the encoded bytes.
+
+        For call sites that immediately hand the frame to a socket (or any
+        bytes-like consumer) this skips the final ``bytes()`` copy of
+        :meth:`getvalue`.  The view aliases the live buffer: it must be
+        consumed before the stream is written to again or :meth:`reset`."""
+        return memoryview(self._buf)
+
+    def reset(self) -> None:
+        """Clear the stream for reuse, keeping the allocated buffer."""
+        self._buf.clear()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
 
 class CdrInputStream:
-    """Read-side CDR stream; raises :class:`MarshalError` on truncation."""
+    """Read-side CDR stream; raises :class:`MarshalError` on truncation.
 
-    def __init__(self, data: bytes, registry: TypeRegistry | None = None):
-        self._data = data
+    Reads operate on a :class:`memoryview` of the input, so every ``_take``
+    is a zero-copy slice; bytes only materialize at string/bytes leaves."""
+
+    def __init__(self, data, registry: TypeRegistry | None = None):
+        self._data = data if isinstance(data, memoryview) else memoryview(data)
         self._pos = 0
         self._registry = registry or global_registry
 
     def _align(self, n: int) -> None:
         self._pos += (-self._pos) % n
 
-    def _take(self, n: int) -> bytes:
+    def _take(self, n: int) -> memoryview:
         if self._pos + n > len(self._data):
             raise MarshalError("CDR stream truncated")
         chunk = self._data[self._pos : self._pos + n]
         self._pos += n
         return chunk
+
+    def seek(self, pos: int) -> None:
+        """Position the read cursor (used by compiled marshalling plans)."""
+        if not 0 <= pos <= len(self._data):
+            raise MarshalError("CDR seek out of bounds")
+        self._pos = pos
 
     def read_octet(self) -> int:
         return self._take(1)[0]
@@ -197,11 +222,12 @@ class CdrInputStream:
 
     def read_string(self) -> str:
         length = self.read_ulong()
-        return self._take(length).decode("utf-8")
+        # str(buffer, encoding) decodes straight from the memoryview slice.
+        return str(self._take(length), "utf-8")
 
     def read_bytes(self) -> bytes:
         length = self.read_ulong()
-        return self._take(length)
+        return bytes(self._take(length))
 
     def read_any(self) -> Any:
         tag = self.read_octet()

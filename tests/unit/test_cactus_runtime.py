@@ -54,6 +54,19 @@ class TestSubmitDelayed:
         finally:
             rt.shutdown()
 
+    def test_shares_one_timer_thread(self):
+        """Armed delays multiplex onto one heap-driven timer thread."""
+        rt = CactusRuntime(workers=2, name="wheel-rt")
+        try:
+            for _ in range(25):
+                rt.submit_delayed(5.0, lambda: None)
+            timers = [
+                t for t in threading.enumerate() if t.name == "wheel-rt-timer"
+            ]
+            assert len(timers) == 1
+        finally:
+            rt.shutdown()
+
     def test_cancellation(self, runtime):
         fired = threading.Event()
         cancelled = threading.Event()
