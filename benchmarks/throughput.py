@@ -16,13 +16,22 @@ Also runs a marshalling micro-benchmark: the compiled per-signature plan
 :func:`~repro.orb.typed_marshal.write_typed` tree walk for one
 ``set_balance``/``get_balance``-style signature.
 
-Results go to ``BENCH_PR2.json``.  Exit status is non-zero if 8-client TCP
-multiplexing fails to beat the 8-client serialized baseline — the CI smoke
-gate.
+PR 3 adds the **conversion-overhead benchmark** (paper Table 1 analogue):
+per platform (CORBA-DII vs RMI vs HTTP), the per-call cost of the Table 1
+rungs — original platform stub, "+CQoS stub" (client interception +
+abstract→platform request conversion), and "+CQoS skeleton" (both
+interceptors, no Cactus) — on a zero-latency in-memory network, so the
+deltas isolate the interception/conversion cost the paper measures.
+Results go to ``BENCH_PR3.json``.
+
+Throughput/marshalling results go to ``BENCH_PR2.json``.  Exit status is
+non-zero if 8-client TCP multiplexing fails to beat the 8-client
+serialized baseline — the CI smoke gate.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/throughput.py [--smoke] [--out PATH]
+        [--conversion-out PATH] [--conversion-only]
 """
 
 from __future__ import annotations
@@ -223,6 +232,94 @@ def _sample_arguments(operation, compiled) -> list:
     return samples
 
 
+# -- conversion overhead (PR 3: paper Table 1 analogue) ----------------------
+
+CONVERSION_PLATFORMS = ("corba", "rmi", "http")
+CONVERSION_RUNGS = ("original", "cqos_stub", "cqos_stub_skeleton")
+
+
+def _timed_calls(callable_, calls: int) -> dict:
+    """Per-call latency stats (µs) for ``calls`` sequential invocations."""
+    for _ in range(min(20, calls)):  # warm caches, lazy binds, connections
+        callable_()
+    samples = []
+    for _ in range(calls):
+        t0 = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return {
+        "calls": calls,
+        "mean_us": round(statistics.fmean(samples) * 1e6, 2),
+        "p50_us": round(samples[len(samples) // 2] * 1e6, 2),
+        "p99_us": round(samples[min(len(samples) - 1, int(len(samples) * 0.99))] * 1e6, 2),
+    }
+
+
+def run_conversion_rung(platform: str, rung: str, calls: int) -> dict:
+    """One Table 1 cell: platform × interception rung, in-memory network.
+
+    - ``original``: the platform-generated stub against an un-intercepted
+      servant — the baseline;
+    - ``cqos_stub``: the CQoS stub in pass-through mode (interception +
+      abstract→platform request conversion — DII on CORBA) against the
+      same un-intercepted servant;
+    - ``cqos_stub_skeleton``: both interceptors (the skeleton rebuilds the
+      abstract request server-side and dispatches natively), no Cactus.
+    """
+    from repro.apps.bank import BankAccount, bank_compiled, bank_interface
+    from repro.core.service import CqosDeployment
+
+    network = InMemoryNetwork()
+    deployment = CqosDeployment(
+        network, platform=platform, compiled=bank_compiled(), request_timeout=30.0
+    )
+    interface = bank_interface()
+    try:
+        if rung == "cqos_stub_skeleton":
+            deployment.add_replicas(
+                "acct", BankAccount, interface, replicas=1, server_micro_protocols=None
+            )
+        else:
+            deployment.deploy_plain_replica("acct", BankAccount(), interface)
+        if rung == "original":
+            stub = deployment.plain_stub("acct", interface)
+        else:
+            stub = deployment.client_stub("acct", interface, with_cactus_client=False)
+        row = _timed_calls(stub.get_balance, calls)
+    finally:
+        deployment.close()
+    row["platform"] = platform
+    row["rung"] = rung
+    return row
+
+
+def run_conversion_bench(calls: int) -> dict:
+    """The full Table 1 analogue grid, with per-platform overhead deltas."""
+    rows = [
+        run_conversion_rung(platform, rung, calls)
+        for platform in CONVERSION_PLATFORMS
+        for rung in CONVERSION_RUNGS
+    ]
+
+    def mean_of(platform: str, rung: str) -> float:
+        return next(
+            r["mean_us"] for r in rows if r["platform"] == platform and r["rung"] == rung
+        )
+
+    overheads = {}
+    for platform in CONVERSION_PLATFORMS:
+        base = mean_of(platform, "original")
+        overheads[platform] = {
+            "original_us": base,
+            "stub_overhead_us": round(mean_of(platform, "cqos_stub") - base, 2),
+            "stub_skeleton_overhead_us": round(
+                mean_of(platform, "cqos_stub_skeleton") - base, 2
+            ),
+        }
+    return {"results": rows, "overhead_us": overheads}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -231,12 +328,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
-        help="output JSON path",
+        help="throughput/marshalling output JSON path",
+    )
+    parser.add_argument(
+        "--conversion-out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json"),
+        help="conversion-overhead output JSON path",
+    )
+    parser.add_argument(
+        "--conversion-only",
+        action="store_true",
+        help="run only the per-platform conversion-overhead benchmark",
     )
     options = parser.parse_args(argv)
 
     calls_per_client = 40 if options.smoke else 400
     marshal_iterations = 500 if options.smoke else 20000
+    conversion_calls = 60 if options.smoke else 2000
+
+    conversion = run_conversion_bench(conversion_calls)
+    for row in conversion["results"]:
+        print(
+            f"conversion {row['platform']:>5} {row['rung']:<18}: "
+            f"mean {row['mean_us']:>8} us  p50 {row['p50_us']} us"
+        )
+    for platform, deltas in conversion["overhead_us"].items():
+        print(
+            f"overhead {platform:>5}: +stub {deltas['stub_overhead_us']} us  "
+            f"+stub+skeleton {deltas['stub_skeleton_overhead_us']} us"
+        )
+    conversion_report = {
+        "bench": "conversion-pr3",
+        "smoke": options.smoke,
+        "calls": conversion_calls,
+        **conversion,
+    }
+    Path(options.conversion_out).write_text(
+        json.dumps(conversion_report, indent=2) + "\n"
+    )
+    print(f"wrote {options.conversion_out}")
+    if options.conversion_only:
+        return 0
 
     results = []
     for (net_name, mode), factory in network_factories().items():

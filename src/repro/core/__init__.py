@@ -32,6 +32,16 @@ from repro.core.events import (
     FIGURE3_EDGES,
 )
 from repro.core.interfaces import ClientPlatform, ControlMessage, ServerPlatform
+from repro.core.platform import (
+    PIGGYBACK_CODEC,
+    BaseClientPlatform,
+    BaseServerPlatform,
+    BaseSkeletonServant,
+    InvocationObserver,
+    PiggybackCodec,
+    ReplicaDirectory,
+    fault_action,
+)
 from repro.core.client import CactusClient
 from repro.core.server import CactusServer
 from repro.core.stub import CqosStub, make_cqos_stub_class
@@ -53,6 +63,14 @@ __all__ = [
     "ClientPlatform",
     "ServerPlatform",
     "ControlMessage",
+    "BaseClientPlatform",
+    "BaseServerPlatform",
+    "BaseSkeletonServant",
+    "ReplicaDirectory",
+    "InvocationObserver",
+    "PiggybackCodec",
+    "PIGGYBACK_CODEC",
+    "fault_action",
     "CactusClient",
     "CactusServer",
     "CqosStub",

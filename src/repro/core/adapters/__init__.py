@@ -1,12 +1,20 @@
-"""Platform adapters: the middleware-specific halves of the interceptors.
+"""Platform adapters: the middleware-specific codecs for the kernel.
 
-One module per supported platform (paper section 4):
+Since the invocation-kernel refactor every adapter is a *thin codec* over
+:mod:`repro.core.platform` — the shared kernel owns the replica directory,
+lazy binding, liveness marks, control pings, fault taxonomy, and observer
+hooks; each adapter contributes only naming conventions, bootstrap-service
+lookup, and request conversion.  One module per supported platform (paper
+section 4):
 
 - :mod:`repro.core.adapters.corba` — DSI skeleton, DII stub path, the
   ``OID_agent_poa_i`` / ``OID_CQoS_Skeleton`` POA naming convention, and
   replica discovery through the naming service;
 - :mod:`repro.core.adapters.rmi` — generic-invoke skeleton proxy,
-  ``OID_CQoS_Skeleton_i`` registry naming convention.
+  ``OID_CQoS_Skeleton_i`` registry naming convention;
+- :mod:`repro.core.adapters.http` — generic mounted skeleton resource,
+  ``OID/replica-i`` path-registry convention, piggyback on ``X-CQoS-*``
+  headers.
 
 Each exposes a ``ClientPlatform`` and a ``ServerPlatform`` implementation
 plus an ``install_*_replica`` helper; the Cactus protocols above never see
@@ -17,8 +25,18 @@ from repro.core.adapters.corba import (
     CorbaClientPlatform,
     CorbaCqosSkeletonServant,
     CorbaServerPlatform,
+    corba_poa_name,
     corba_replica_name,
+    corba_skeleton_object_id,
     install_corba_replica,
+)
+from repro.core.adapters.http import (
+    HttpClientPlatform,
+    HttpCqosSkeletonServant,
+    HttpServerPlatform,
+    http_replica_name,
+    http_skeleton_object_id,
+    install_http_replica,
 )
 from repro.core.adapters.rmi import (
     RmiClientPlatform,
@@ -33,10 +51,18 @@ __all__ = [
     "CorbaServerPlatform",
     "CorbaCqosSkeletonServant",
     "install_corba_replica",
+    "corba_poa_name",
     "corba_replica_name",
+    "corba_skeleton_object_id",
     "RmiClientPlatform",
     "RmiServerPlatform",
     "RmiCqosSkeletonServant",
     "install_rmi_replica",
     "rmi_skeleton_name",
+    "HttpClientPlatform",
+    "HttpServerPlatform",
+    "HttpCqosSkeletonServant",
+    "install_http_replica",
+    "http_replica_name",
+    "http_skeleton_object_id",
 ]

@@ -1,67 +1,64 @@
-"""CQoS on CORBA (paper section 4.1).
+"""CQoS on CORBA (paper section 4.1) — the CORBA codec for the kernel.
 
-Server side: a :class:`CorbaCqosSkeletonServant` (a DSI
-:class:`~repro.orb.dsi.DynamicImplementation`) registers in place of the
-application servant.  The paper's naming convention is used verbatim: the
-POA for the i-th replica of object ``OID`` is named ``"OID_agent_poa_i"``
-and the skeleton activates under object id ``"OID_CQoS_Skeleton"``; the
-resulting IOR is (re)bound in the naming service as ``"OID/replica-i"`` so
-clients can enumerate replicas.
+All request-lifecycle machinery (replica directory, lazy bind, liveness
+marks, control pings, fault taxonomy, observer hooks) lives in the shared
+invocation kernel (:mod:`repro.core.platform`); this module supplies only
+the CORBA codec surface:
 
-Client side: :class:`CorbaClientPlatform` resolves replica IORs through the
-naming service lazily (binding happens at the first request, as in the
-prototype) and converts each abstract request into a CORBA request with the
-**DII** — the conversion the paper identifies as the main CORBA-side
-overhead.
-
-``server_status()`` reports locally tracked knowledge (a replica is marked
-failed when an invocation on it fails at the communication level; ``bind()``
-clears the mark, implementing rebinding to a recovered server).  An active
-``probe()`` using the skeleton's control ping is available for failure
-detectors.
+- naming convention, verbatim from the paper: the POA for the i-th replica
+  of object ``OID`` is named ``"OID_agent_poa_i"``, the skeleton activates
+  under object id ``"OID_CQoS_Skeleton"``, and the resulting IOR is
+  (re)bound in the naming service as ``"OID/replica-i"`` so clients can
+  enumerate replicas;
+- name resolution through the naming service (IOR string → object
+  reference);
+- request conversion: each abstract request becomes a CORBA request with
+  the **DII** — the conversion the paper identifies as the main CORBA-side
+  overhead (``use_dii=False`` selects the plain dynamic invocation for
+  comparison);
+- the DSI :class:`CorbaCqosSkeletonServant` adapting the POA upcall
+  calling convention onto the kernel's skeleton dispatch.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
-from repro.core.interfaces import ClientPlatform, ServerPlatform
-from repro.core.request import Request
+from repro.core.platform import (
+    BaseClientPlatform,
+    BaseServerPlatform,
+    BaseSkeletonServant,
+    corba_poa_name,
+    corba_replica_name,
+    corba_replica_prefix,
+    corba_skeleton_object_id,
+)
 from repro.core.server import CactusServer
-from repro.core.skeleton import CONTROL_OPERATION, CONTROL_PING, CqosSkeleton
+from repro.core.skeleton import CqosSkeleton
 from repro.idl.compiler import InterfaceDef
 from repro.orb.dsi import DynamicImplementation, ServerRequest
 from repro.orb.naming import NamingClient, naming_client
 from repro.orb.orb import ObjectRef, Orb
 from repro.orb.stubs import StaticSkeleton
-from repro.util.errors import BindError, CommunicationError, ServerFailedError
+
+__all__ = [
+    "CorbaClientPlatform",
+    "CorbaCqosSkeletonServant",
+    "CorbaServerPlatform",
+    "corba_poa_name",
+    "corba_replica_name",
+    "corba_replica_prefix",
+    "corba_skeleton_object_id",
+    "install_corba_replica",
+]
 
 
-def corba_poa_name(object_id: str, replica: int) -> str:
-    """The paper's POA naming convention: ``"OID_agent_poa_i"``."""
-    return f"{object_id}_agent_poa_{replica}"
-
-
-def corba_skeleton_object_id(object_id: str) -> str:
-    """The shared skeleton object id: ``"OID_CQoS_Skeleton"``."""
-    return f"{object_id}_CQoS_Skeleton"
-
-
-def corba_replica_name(object_id: str, replica: int) -> str:
-    """The naming-service entry for one replica's skeleton."""
-    return f"{object_id}/replica-{replica}"
-
-
-class CorbaCqosSkeletonServant(DynamicImplementation):
+class CorbaCqosSkeletonServant(BaseSkeletonServant, DynamicImplementation):
     """DSI wrapper delivering every POA upcall to the CQoS skeleton core."""
-
-    def __init__(self, skeleton: CqosSkeleton):
-        self.skeleton = skeleton
 
     def invoke(self, server_request: ServerRequest) -> None:
         try:
-            value = self.skeleton.handle_invocation(
+            value = self.dispatch_invocation(
                 server_request.operation,
                 server_request.arguments(),
                 server_request.context(),
@@ -72,7 +69,20 @@ class CorbaCqosSkeletonServant(DynamicImplementation):
             server_request.set_result(value)
 
 
-class CorbaServerPlatform(ServerPlatform):
+class _CorbaNamingMixin:
+    """Shared CORBA name resolution: naming-service entry → object ref."""
+
+    _orb: Orb
+    _naming: NamingClient
+
+    def _resolve(self, name: str) -> ObjectRef:
+        return self._orb.string_to_object(self._naming.resolve(name))
+
+    def _list_names(self, prefix: str) -> list:
+        return self._naming.list_names(prefix)
+
+
+class CorbaServerPlatform(_CorbaNamingMixin, BaseServerPlatform):
     """Server-side Cactus QoS interface implementation on the ORB."""
 
     def __init__(
@@ -83,146 +93,51 @@ class CorbaServerPlatform(ServerPlatform):
         servant: Any,
         interface: InterfaceDef,
         total_replicas: int = 1,
+        observers=None,
     ):
         self._orb = orb
-        self._object_id = object_id
-        self._replica = replica
-        self._total = total_replicas
+        self._naming = naming_client(orb)
         # invoke_servant() is a native call through the IDL-typed dispatch.
-        self._dispatch = StaticSkeleton(servant, interface, orb.compiled)
-        self._naming: NamingClient = naming_client(orb)
-        self._peer_refs: dict[int, ObjectRef] = {}
-        self._lock = threading.Lock()
+        super().__init__(
+            object_id,
+            replica,
+            StaticSkeleton(servant, interface, orb.compiled),
+            total_replicas=total_replicas,
+            observers=observers,
+        )
 
-    def invoke_servant(self, request: Request) -> Any:
-        return self._dispatch.dispatch(request.operation, request.get_params())
+    def _peer_name(self, replica: int) -> str:
+        return corba_replica_name(self.object_id, replica)
 
-    def my_replica(self) -> int:
-        return self._replica
-
-    def num_replicas(self) -> int:
-        return self._total
-
-    def _peer_ref(self, replica: int) -> ObjectRef:
-        with self._lock:
-            ref = self._peer_refs.get(replica)
-        if ref is None:
-            ior_text = self._naming.resolve(corba_replica_name(self._object_id, replica))
-            ref = self._orb.string_to_object(ior_text)
-            with self._lock:
-                self._peer_refs[replica] = ref
-        return ref
-
-    def peer_invoke(self, replica: int, kind: str, payload: dict) -> Any:
-        ref = self._peer_ref(replica)
-        try:
-            return ref.invoke_op(CONTROL_OPERATION, [kind, self._replica, payload])
-        except CommunicationError:
-            with self._lock:
-                self._peer_refs.pop(replica, None)
-            raise
-
-    def peer_status(self, replica: int) -> bool:
-        try:
-            return bool(
-                self._peer_ref(replica).invoke_op(
-                    CONTROL_OPERATION, [CONTROL_PING, self._replica, {}]
-                )
-            )
-        except (CommunicationError, BindError):
-            with self._lock:
-                self._peer_refs.pop(replica, None)
-            return False
+    def _send(self, endpoint: ObjectRef, operation: str, params: list, piggyback) -> Any:
+        return endpoint.invoke_op(operation, params, dict(piggyback or {}))
 
 
-class CorbaClientPlatform(ClientPlatform):
+class CorbaClientPlatform(_CorbaNamingMixin, BaseClientPlatform):
     """Client-side Cactus QoS interface implementation on the ORB."""
 
-    def __init__(self, orb: Orb, object_id: str, use_dii: bool = True):
+    def __init__(self, orb: Orb, object_id: str, use_dii: bool = True, observers=None):
         self._orb = orb
-        self._object_id = object_id
         self._use_dii = use_dii
-        self._naming: NamingClient = naming_client(orb)
-        self._lock = threading.Lock()
-        self._refs: dict[int, ObjectRef] = {}
-        self._failed: set[int] = set()
-        self._num_servers: int | None = None
+        self._naming = naming_client(orb)
+        super().__init__(object_id, observers=observers)
 
-    def num_servers(self) -> int:
-        with self._lock:
-            if self._num_servers is not None:
-                return self._num_servers
-        prefix = f"{self._object_id}/replica-"
-        count = len(self._naming.list_names(prefix))
-        with self._lock:
-            self._num_servers = max(count, 1)
-            return self._num_servers
+    def _replica_name(self, replica: int) -> str:
+        return corba_replica_name(self.object_id, replica)
 
-    def refresh(self) -> None:
-        """Drop cached bindings and replica count (re-discover on next use)."""
-        with self._lock:
-            self._refs.clear()
-            self._failed.clear()
-            self._num_servers = None
+    def _replica_prefix(self) -> str:
+        return corba_replica_prefix(self.object_id)
 
-    def bind(self, server: int) -> None:
-        with self._lock:
-            bound = server in self._refs
-            self._failed.discard(server)  # rebinding clears failure knowledge
-        if bound:
-            return
-        ior_text = self._naming.resolve(corba_replica_name(self._object_id, server))
-        ref = self._orb.string_to_object(ior_text)
-        with self._lock:
-            self._refs[server] = ref
-
-    def server_status(self, server: int) -> bool:
-        with self._lock:
-            return server not in self._failed
-
-    def probe(self, server: int) -> bool:
-        """Active liveness check via the skeleton's control ping."""
-        try:
-            self.bind(server)
-            with self._lock:
-                ref = self._refs[server]
-            alive = bool(ref.invoke_op(CONTROL_OPERATION, [CONTROL_PING, 0, {}]))
-        except (CommunicationError, BindError):
-            alive = False
-        if not alive:
-            with self._lock:
-                self._failed.add(server)
-                self._refs.pop(server, None)
-        return alive
-
-    def invoke_server(self, server: int, request: Request) -> Any:
-        self.bind(server)
-        with self._lock:
-            ref = self._refs[server]
-        try:
-            if self._use_dii:
-                # The paper's path: abstract request -> CORBA request (DII).
-                dii = ref._create_request(request.operation)
-                for param in request.get_params():
-                    dii.add_arg(param)
-                dii.set_context(dict(request.piggyback))
-                dii.invoke()
-                return dii.return_value()
-            return ref.invoke_op(
-                request.operation, request.get_params(), dict(request.piggyback)
-            )
-        except ServerFailedError:
-            # The host is down: remember it so server_status() reports it.
-            with self._lock:
-                self._failed.add(server)
-                self._refs.pop(server, None)
-            raise
-        except CommunicationError:
-            # Transient (loss, partition, reset): drop the binding so the
-            # next attempt reconnects, but do not mark the replica failed.
-            with self._lock:
-                self._refs.pop(server, None)
-            raise
+    def _send(self, endpoint: ObjectRef, operation: str, params: list, piggyback) -> Any:
+        if self._use_dii:
+            # The paper's path: abstract request -> CORBA request (DII).
+            dii = endpoint._create_request(operation)
+            for param in params:
+                dii.add_arg(param)
+            dii.set_context(dict(piggyback or {}))
+            dii.invoke()
+            return dii.return_value()
+        return endpoint.invoke_op(operation, params, dict(piggyback or {}))
 
 
 def install_corba_replica(
@@ -233,6 +148,7 @@ def install_corba_replica(
     interface: InterfaceDef,
     cactus_server_factory=None,
     total_replicas: int = 1,
+    observers=None,
 ) -> CqosSkeleton:
     """Install the CQoS server side for one replica on an ORB.
 
@@ -241,10 +157,18 @@ def install_corba_replica(
     pointer to the original servant) and rebinds the replica's name in the
     naming service.  ``cactus_server_factory(platform) -> CactusServer``
     configures the QoS component; ``None`` installs a pass-through skeleton
-    (Table 1's "+CQoS skeleton" rung).
+    (Table 1's "+CQoS skeleton" rung).  ``observers`` attach
+    :class:`~repro.core.platform.InvocationObserver` hooks to both the
+    skeleton boundary and servant dispatch.
     """
     platform = CorbaServerPlatform(
-        orb, object_id, replica, servant, interface, total_replicas=total_replicas
+        orb,
+        object_id,
+        replica,
+        servant,
+        interface,
+        total_replicas=total_replicas,
+        observers=observers,
     )
     cactus_server: CactusServer | None = None
     if cactus_server_factory is not None:
@@ -252,7 +176,8 @@ def install_corba_replica(
     skeleton = CqosSkeleton(object_id, platform, cactus_server)
     poa = orb.create_poa(corba_poa_name(object_id, replica))
     ior = poa.activate_object(
-        corba_skeleton_object_id(object_id), CorbaCqosSkeletonServant(skeleton)
+        corba_skeleton_object_id(object_id),
+        CorbaCqosSkeletonServant(skeleton, observers=observers),
     )
     naming_client(orb).rebind(
         corba_replica_name(object_id, replica), orb.object_to_string(ior)

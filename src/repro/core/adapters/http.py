@@ -1,11 +1,19 @@
-"""CQoS on HTTP (the paper's §2.1 generality claim).
+"""CQoS on HTTP (the paper's §2.1 generality claim) — the HTTP codec.
 
 "It would be feasible to intercept HTTP requests and replies, in which case
 the TCP socket layer would be viewed as the middleware layer."  Here it is:
 the CQoS skeleton mounts as a *generic* HTTP object in place of the real
 servant (the proxy-resource pattern), the CQoS stub posts operations to it,
-piggyback data rides ``X-CQoS-*`` headers, and replica discovery uses the
-path registry with the convention name ``"<OID>/replica-<i>"``.
+piggyback data rides ``X-CQoS-*`` headers (encoded by the kernel's shared
+:class:`~repro.core.platform.PiggybackCodec`, so any marshallable key or
+value round-trips losslessly), and replica discovery uses the path registry
+with the convention name ``"<OID>/replica-<i>"``.
+
+All request-lifecycle machinery lives in the shared invocation kernel
+(:mod:`repro.core.platform`); this module supplies only the HTTP codec
+surface: the path-registry naming convention, lookup/enumeration, and
+request conversion (abstract request → one POST on the replica's
+``(address, object_id)`` endpoint).
 
 Nothing in :mod:`repro.qos` knows this platform exists — which is the whole
 point of the two-component architecture.
@@ -13,41 +21,57 @@ point of the two-component architecture.
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
-from repro.core.interfaces import ClientPlatform, ServerPlatform
-from repro.core.request import Request
+from repro.core.platform import (
+    BaseClientPlatform,
+    BaseServerPlatform,
+    BaseSkeletonServant,
+    http_replica_name,
+    http_replica_prefix,
+    http_skeleton_object_id,
+)
 from repro.core.server import CactusServer
-from repro.core.skeleton import CONTROL_OPERATION, CONTROL_PING, CqosSkeleton
+from repro.core.skeleton import CqosSkeleton
 from repro.http.client import HttpClient
 from repro.http.registry import HttpRegistryClient
 from repro.http.server import HttpObjectServer
 from repro.idl.compiler import InterfaceDef
 from repro.orb.stubs import StaticSkeleton
-from repro.util.errors import BindError, CommunicationError, ServerFailedError
+
+__all__ = [
+    "HttpClientPlatform",
+    "HttpCqosSkeletonServant",
+    "HttpServerPlatform",
+    "http_replica_name",
+    "http_replica_prefix",
+    "http_skeleton_object_id",
+    "install_http_replica",
+]
 
 
-def http_replica_name(object_id: str, replica: int) -> str:
-    """Registry naming convention for HTTP replicas."""
-    return f"{object_id}/replica-{replica}"
-
-
-def http_skeleton_object_id(object_id: str) -> str:
-    return f"{object_id}_CQoS_Skeleton"
-
-
-class HttpCqosSkeletonServant:
+class HttpCqosSkeletonServant(BaseSkeletonServant):
     """Generic HTTP object delivering every POST to the skeleton core."""
 
-    def __init__(self, skeleton: CqosSkeleton):
-        self.skeleton = skeleton
 
-    def invoke(self, method: str, arguments: list, context: dict) -> Any:
-        return self.skeleton.handle_invocation(method, arguments, context)
+class _HttpRegistryMixin:
+    """Shared HTTP name resolution through the path registry."""
+
+    _client: HttpClient
+    _registry: HttpRegistryClient
+
+    def _resolve(self, name: str) -> tuple[str, str]:
+        return self._registry.lookup(name)
+
+    def _list_names(self, prefix: str) -> list:
+        return self._registry.list(prefix)
+
+    def _send(self, endpoint: tuple[str, str], operation: str, params: list, piggyback) -> Any:
+        address, object_id = endpoint
+        return self._client.post(address, object_id, operation, params, piggyback=piggyback)
 
 
-class HttpServerPlatform(ServerPlatform):
+class HttpServerPlatform(_HttpRegistryMixin, BaseServerPlatform):
     """Server-side Cactus QoS interface implementation on HTTP."""
 
     def __init__(
@@ -60,141 +84,42 @@ class HttpServerPlatform(ServerPlatform):
         servant: Any,
         interface: InterfaceDef,
         total_replicas: int = 1,
+        observers=None,
     ):
         self._server = server
         self._client = client
         self._registry = registry
-        self._object_id = object_id
-        self._replica = replica
-        self._total = total_replicas
-        self._dispatch = StaticSkeleton(servant, interface, server.compiled)
-        self._peer_endpoints: dict[int, tuple[str, str]] = {}
-        self._lock = threading.Lock()
+        super().__init__(
+            object_id,
+            replica,
+            StaticSkeleton(servant, interface, server.compiled),
+            total_replicas=total_replicas,
+            observers=observers,
+        )
 
-    def invoke_servant(self, request: Request) -> Any:
-        return self._dispatch.dispatch(request.operation, request.get_params())
-
-    def my_replica(self) -> int:
-        return self._replica
-
-    def num_replicas(self) -> int:
-        return self._total
-
-    def _peer(self, replica: int) -> tuple[str, str]:
-        with self._lock:
-            entry = self._peer_endpoints.get(replica)
-        if entry is None:
-            entry = self._registry.lookup(http_replica_name(self._object_id, replica))
-            with self._lock:
-                self._peer_endpoints[replica] = entry
-        return entry
-
-    def peer_invoke(self, replica: int, kind: str, payload: dict) -> Any:
-        address, object_id = self._peer(replica)
-        try:
-            return self._client.post(
-                address, object_id, CONTROL_OPERATION, [kind, self._replica, payload]
-            )
-        except CommunicationError:
-            with self._lock:
-                self._peer_endpoints.pop(replica, None)
-            raise
-
-    def peer_status(self, replica: int) -> bool:
-        try:
-            address, object_id = self._peer(replica)
-            return bool(
-                self._client.post(
-                    address, object_id, CONTROL_OPERATION, [CONTROL_PING, self._replica, {}]
-                )
-            )
-        except (CommunicationError, BindError):
-            with self._lock:
-                self._peer_endpoints.pop(replica, None)
-            return False
+    def _peer_name(self, replica: int) -> str:
+        return http_replica_name(self.object_id, replica)
 
 
-class HttpClientPlatform(ClientPlatform):
+class HttpClientPlatform(_HttpRegistryMixin, BaseClientPlatform):
     """Client-side Cactus QoS interface implementation on HTTP."""
 
-    def __init__(self, client: HttpClient, registry: HttpRegistryClient, object_id: str):
+    def __init__(
+        self,
+        client: HttpClient,
+        registry: HttpRegistryClient,
+        object_id: str,
+        observers=None,
+    ):
         self._client = client
         self._registry = registry
-        self._object_id = object_id
-        self._lock = threading.Lock()
-        self._endpoints: dict[int, tuple[str, str]] = {}
-        self._failed: set[int] = set()
-        self._num_servers: int | None = None
+        super().__init__(object_id, observers=observers)
 
-    def num_servers(self) -> int:
-        with self._lock:
-            if self._num_servers is not None:
-                return self._num_servers
-        prefix = f"{self._object_id}/replica-"
-        count = len(self._registry.list(prefix))
-        with self._lock:
-            self._num_servers = max(count, 1)
-            return self._num_servers
+    def _replica_name(self, replica: int) -> str:
+        return http_replica_name(self.object_id, replica)
 
-    def refresh(self) -> None:
-        with self._lock:
-            self._endpoints.clear()
-            self._failed.clear()
-            self._num_servers = None
-
-    def bind(self, server: int) -> None:
-        with self._lock:
-            bound = server in self._endpoints
-            self._failed.discard(server)
-        if bound:
-            return
-        entry = self._registry.lookup(http_replica_name(self._object_id, server))
-        with self._lock:
-            self._endpoints[server] = entry
-
-    def server_status(self, server: int) -> bool:
-        with self._lock:
-            return server not in self._failed
-
-    def probe(self, server: int) -> bool:
-        try:
-            self.bind(server)
-            with self._lock:
-                address, object_id = self._endpoints[server]
-            alive = bool(
-                self._client.post(
-                    address, object_id, CONTROL_OPERATION, [CONTROL_PING, 0, {}]
-                )
-            )
-        except (CommunicationError, BindError):
-            alive = False
-        if not alive:
-            with self._lock:
-                self._failed.add(server)
-                self._endpoints.pop(server, None)
-        return alive
-
-    def invoke_server(self, server: int, request: Request) -> Any:
-        self.bind(server)
-        with self._lock:
-            address, object_id = self._endpoints[server]
-        try:
-            return self._client.post(
-                address,
-                object_id,
-                request.operation,
-                request.get_params(),
-                piggyback=dict(request.piggyback),
-            )
-        except ServerFailedError:
-            with self._lock:
-                self._failed.add(server)
-                self._endpoints.pop(server, None)
-            raise
-        except CommunicationError:
-            with self._lock:
-                self._endpoints.pop(server, None)
-            raise
+    def _replica_prefix(self) -> str:
+        return http_replica_prefix(self.object_id)
 
 
 def install_http_replica(
@@ -207,18 +132,29 @@ def install_http_replica(
     interface: InterfaceDef,
     cactus_server_factory=None,
     total_replicas: int = 1,
+    observers=None,
 ) -> CqosSkeleton:
-    """Mount the CQoS skeleton for one replica and register its path."""
+    """Mount the CQoS skeleton for one replica and register its path.
+
+    ``observers`` as in :func:`~repro.core.adapters.corba.install_corba_replica`.
+    """
     platform = HttpServerPlatform(
-        server, client, registry, object_id, replica, servant, interface,
+        server,
+        client,
+        registry,
+        object_id,
+        replica,
+        servant,
+        interface,
         total_replicas=total_replicas,
+        observers=observers,
     )
     cactus_server: CactusServer | None = None
     if cactus_server_factory is not None:
         cactus_server = cactus_server_factory(platform)
     skeleton = CqosSkeleton(object_id, platform, cactus_server)
     skeleton_id = http_skeleton_object_id(object_id)
-    server.mount_generic(skeleton_id, HttpCqosSkeletonServant(skeleton))
+    server.mount_generic(skeleton_id, HttpCqosSkeletonServant(skeleton, observers=observers))
     registry.rebind(
         http_replica_name(object_id, replica), server.endpoint_address, skeleton_id
     )

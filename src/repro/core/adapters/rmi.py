@@ -1,4 +1,4 @@
-"""CQoS on Java RMI (paper section 4.2).
+"""CQoS on Java RMI (paper section 4.2) — the RMI codec for the kernel.
 
 "Since Java no longer supports server side skeletons, we introduce [the]
 CQoS skeleton as a proxy object … [that] export[s] only a generic invoke
@@ -6,50 +6,72 @@ method.  …  the skeleton for the i-th replica of object with identifier
 OID registers with the Java naming service using name
 'OID_CQoS_Skeleton_i'."
 
-Server side: :class:`RmiCqosSkeletonServant` is a generic remote object
-(the simulated DSI) exported per replica and registered in the RMI registry
-under the convention name.  Client side: :class:`RmiClientPlatform` looks
-replicas up lazily (binding at first request) and invokes the skeleton's
-generic method directly — no DII equivalent exists, which is why the RMI
-rows of Table 1 show smaller conversion overheads.
+All request-lifecycle machinery lives in the shared invocation kernel
+(:mod:`repro.core.platform`); this module supplies only the RMI codec
+surface: the registry naming convention, registry lookup/enumeration, and
+request conversion — the abstract request maps directly onto the generic
+remote ``invoke`` call (no DII equivalent exists, which is why the RMI rows
+of Table 1 show smaller conversion overheads).  The per-replica
+:class:`RmiCqosSkeletonServant` (the simulated DSI) is the kernel's generic
+skeleton servant unchanged.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
-from repro.core.interfaces import ClientPlatform, ServerPlatform
-from repro.core.request import Request
+from repro.core.platform import (
+    BaseClientPlatform,
+    BaseServerPlatform,
+    BaseSkeletonServant,
+    rmi_skeleton_name,
+    rmi_skeleton_prefix,
+)
 from repro.core.server import CactusServer
-from repro.core.skeleton import CONTROL_OPERATION, CONTROL_PING, CqosSkeleton
+from repro.core.skeleton import CqosSkeleton
 from repro.idl.compiler import InterfaceDef
 from repro.orb.stubs import StaticSkeleton
 from repro.rmi.registry import RegistryClient, registry_client
 from repro.rmi.runtime import RemoteRef, RmiRuntime
-from repro.util.errors import BindError, CommunicationError, ServerFailedError
+
+__all__ = [
+    "RmiClientPlatform",
+    "RmiCqosSkeletonServant",
+    "RmiServerPlatform",
+    "install_rmi_replica",
+    "rmi_skeleton_name",
+    "rmi_skeleton_prefix",
+]
 
 
-def rmi_skeleton_name(object_id: str, replica: int) -> str:
-    """The paper's registry naming convention: ``"OID_CQoS_Skeleton_i"``."""
-    return f"{object_id}_CQoS_Skeleton_{replica}"
-
-
-class RmiCqosSkeletonServant:
+class RmiCqosSkeletonServant(BaseSkeletonServant):
     """Generic remote object delivering every call to the skeleton core.
 
     The RMI analog of the DSI servant: ``invoke(method, arguments,
-    context)`` regardless of which server method the client called.
+    context)`` regardless of which server method the client called — the
+    kernel's generic entry point matches RMI's generic export directly.
     """
 
-    def __init__(self, skeleton: CqosSkeleton):
-        self.skeleton = skeleton
 
-    def invoke(self, method: str, arguments: list, context: dict) -> Any:
-        return self.skeleton.handle_invocation(method, arguments, context)
+class _RmiRegistryMixin:
+    """Shared RMI name resolution through the registry."""
+
+    _runtime: RmiRuntime
+    _registry: RegistryClient
+
+    def _resolve(self, name: str) -> RemoteRef:
+        return self._registry.lookup(name)
+
+    def _list_names(self, prefix: str) -> list:
+        return self._registry.list(prefix)
+
+    def _send(self, endpoint: RemoteRef, operation: str, params: list, piggyback) -> Any:
+        return self._runtime.call(
+            endpoint, operation, params, context=dict(piggyback or {})
+        )
 
 
-class RmiServerPlatform(ServerPlatform):
+class RmiServerPlatform(_RmiRegistryMixin, BaseServerPlatform):
     """Server-side Cactus QoS interface implementation on RMI."""
 
     def __init__(
@@ -60,142 +82,35 @@ class RmiServerPlatform(ServerPlatform):
         servant: Any,
         interface: InterfaceDef,
         total_replicas: int = 1,
+        observers=None,
     ):
         self._runtime = runtime
-        self._object_id = object_id
-        self._replica = replica
-        self._total = total_replicas
-        self._dispatch = StaticSkeleton(servant, interface, runtime.compiled)
-        self._registry: RegistryClient = registry_client(runtime)
-        self._peer_refs: dict[int, RemoteRef] = {}
-        self._lock = threading.Lock()
+        self._registry = registry_client(runtime)
+        super().__init__(
+            object_id,
+            replica,
+            StaticSkeleton(servant, interface, runtime.compiled),
+            total_replicas=total_replicas,
+            observers=observers,
+        )
 
-    def invoke_servant(self, request: Request) -> Any:
-        return self._dispatch.dispatch(request.operation, request.get_params())
-
-    def my_replica(self) -> int:
-        return self._replica
-
-    def num_replicas(self) -> int:
-        return self._total
-
-    def _peer_ref(self, replica: int) -> RemoteRef:
-        with self._lock:
-            ref = self._peer_refs.get(replica)
-        if ref is None:
-            ref = self._registry.lookup(rmi_skeleton_name(self._object_id, replica))
-            with self._lock:
-                self._peer_refs[replica] = ref
-        return ref
-
-    def peer_invoke(self, replica: int, kind: str, payload: dict) -> Any:
-        ref = self._peer_ref(replica)
-        try:
-            return self._runtime.call(
-                ref, CONTROL_OPERATION, [kind, self._replica, payload]
-            )
-        except CommunicationError:
-            with self._lock:
-                self._peer_refs.pop(replica, None)
-            raise
-
-    def peer_status(self, replica: int) -> bool:
-        try:
-            return bool(
-                self._runtime.call(
-                    self._peer_ref(replica),
-                    CONTROL_OPERATION,
-                    [CONTROL_PING, self._replica, {}],
-                )
-            )
-        except (CommunicationError, BindError):
-            with self._lock:
-                self._peer_refs.pop(replica, None)
-            return False
+    def _peer_name(self, replica: int) -> str:
+        return rmi_skeleton_name(self.object_id, replica)
 
 
-class RmiClientPlatform(ClientPlatform):
+class RmiClientPlatform(_RmiRegistryMixin, BaseClientPlatform):
     """Client-side Cactus QoS interface implementation on RMI."""
 
-    def __init__(self, runtime: RmiRuntime, object_id: str):
+    def __init__(self, runtime: RmiRuntime, object_id: str, observers=None):
         self._runtime = runtime
-        self._object_id = object_id
-        self._registry: RegistryClient = registry_client(runtime)
-        self._lock = threading.Lock()
-        self._refs: dict[int, RemoteRef] = {}
-        self._failed: set[int] = set()
-        self._num_servers: int | None = None
+        self._registry = registry_client(runtime)
+        super().__init__(object_id, observers=observers)
 
-    def num_servers(self) -> int:
-        with self._lock:
-            if self._num_servers is not None:
-                return self._num_servers
-        prefix = f"{self._object_id}_CQoS_Skeleton_"
-        count = len(self._registry.list(prefix))
-        with self._lock:
-            self._num_servers = max(count, 1)
-            return self._num_servers
+    def _replica_name(self, replica: int) -> str:
+        return rmi_skeleton_name(self.object_id, replica)
 
-    def refresh(self) -> None:
-        with self._lock:
-            self._refs.clear()
-            self._failed.clear()
-            self._num_servers = None
-
-    def bind(self, server: int) -> None:
-        with self._lock:
-            bound = server in self._refs
-            self._failed.discard(server)
-        if bound:
-            return
-        ref = self._registry.lookup(rmi_skeleton_name(self._object_id, server))
-        with self._lock:
-            self._refs[server] = ref
-
-    def server_status(self, server: int) -> bool:
-        with self._lock:
-            return server not in self._failed
-
-    def probe(self, server: int) -> bool:
-        """Active liveness check via the skeleton's control ping."""
-        try:
-            self.bind(server)
-            with self._lock:
-                ref = self._refs[server]
-            alive = bool(
-                self._runtime.call(ref, CONTROL_OPERATION, [CONTROL_PING, 0, {}])
-            )
-        except (CommunicationError, BindError):
-            alive = False
-        if not alive:
-            with self._lock:
-                self._failed.add(server)
-                self._refs.pop(server, None)
-        return alive
-
-    def invoke_server(self, server: int, request: Request) -> Any:
-        self.bind(server)
-        with self._lock:
-            ref = self._refs[server]
-        try:
-            return self._runtime.call(
-                ref,
-                request.operation,
-                request.get_params(),
-                context=dict(request.piggyback),
-            )
-        except ServerFailedError:
-            # The host is down: remember it so server_status() reports it.
-            with self._lock:
-                self._failed.add(server)
-                self._refs.pop(server, None)
-            raise
-        except CommunicationError:
-            # Transient (loss, partition, reset): drop the binding so the
-            # next attempt reconnects, but do not mark the replica failed.
-            with self._lock:
-                self._refs.pop(server, None)
-            raise
+    def _replica_prefix(self) -> str:
+        return rmi_skeleton_prefix(self.object_id)
 
 
 def install_rmi_replica(
@@ -206,22 +121,30 @@ def install_rmi_replica(
     interface: InterfaceDef,
     cactus_server_factory=None,
     total_replicas: int = 1,
+    observers=None,
 ) -> CqosSkeleton:
     """Install the CQoS server side for one replica on an RMI runtime.
 
     Exports the generic skeleton proxy and registers it under the paper's
     ``"OID_CQoS_Skeleton_i"`` convention.  ``cactus_server_factory`` as in
     the CORBA adapter; ``None`` yields a pass-through skeleton.
+    ``observers`` as in :func:`~repro.core.adapters.corba.install_corba_replica`.
     """
     platform = RmiServerPlatform(
-        runtime, object_id, replica, servant, interface, total_replicas=total_replicas
+        runtime,
+        object_id,
+        replica,
+        servant,
+        interface,
+        total_replicas=total_replicas,
+        observers=observers,
     )
     cactus_server: CactusServer | None = None
     if cactus_server_factory is not None:
         cactus_server = cactus_server_factory(platform)
     skeleton = CqosSkeleton(object_id, platform, cactus_server)
     ref = runtime.export_generic(
-        RmiCqosSkeletonServant(skeleton),
+        RmiCqosSkeletonServant(skeleton, observers=observers),
         object_id=rmi_skeleton_name(object_id, replica),
     )
     registry_client(runtime).rebind(rmi_skeleton_name(object_id, replica), ref)

@@ -9,16 +9,21 @@ application or middleware specific identifiers."  (paper, section 2.2)
 
 Two abstract platforms implement it, one per side:
 
-- :class:`ClientPlatform` — held by the Cactus client; implemented by the
-  CORBA and RMI client adapters (DII request construction, stub calls);
+- :class:`ClientPlatform` — held by the Cactus client; the request
+  lifecycle (lazy binding, liveness, probes, fault taxonomy) is
+  implemented once in :class:`repro.core.platform.BaseClientPlatform`;
+  the CORBA/RMI/HTTP adapters contribute only their codec (naming
+  convention, lookup, request conversion — DII on CORBA);
 - :class:`ServerPlatform` — held by the Cactus server; provides
   ``invoke_servant()`` (the native call into the real server object) and
   the replica control plane (``peer_invoke``) that PassiveRep and
   TotalOrder use, "identical techniques to establish connections between
-  server object replicas".
+  server object replicas" — shared in
+  :class:`repro.core.platform.BaseServerPlatform`.
 
 Everything in :mod:`repro.qos` is written against these two ABCs only —
-that is the portability claim of the paper, made executable.
+that is the portability claim of the paper, made executable (and
+machine-checked by ``tools/check_layering.py``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,642 @@
+"""The invocation kernel: one platform-agnostic request pipeline.
+
+The paper's portability claim is that the QoS layer sees only the abstract
+request and the Cactus QoS interface.  Historically each platform adapter
+(:mod:`repro.core.adapters.corba` / ``rmi`` / ``http``) privately
+reimplemented replica directories, lazy binding, failure tracking, control
+pings, skeleton dispatch, and piggyback encode/decode.  This module hoists
+all of that shared request-lifecycle machinery into one place; the adapters
+shrink to thin codecs (abstract request ↔ platform request, plus their
+paper-verbatim naming conventions).
+
+Kernel pieces:
+
+- :class:`ReplicaDirectory` — naming-convention strategy + lazy bind +
+  lock-guarded liveness marks, shared by client platforms and the replica
+  control plane;
+- :class:`BaseClientPlatform` / :class:`BaseServerPlatform` /
+  :class:`BaseSkeletonServant` — own the request lifecycle on each side;
+  subclasses supply only name formatting, name resolution, and the wire
+  send (``_send``);
+- :class:`PiggybackCodec` — the registry of well-known piggyback keys and
+  the one textual header encoding used by header-based transports (the
+  HTTP adapter's ``X-CQoS-*`` headers), so a new piggyback key is declared
+  once instead of hand-threaded through three adapters;
+- :func:`fault_action` — the single platform-fault →
+  :class:`~repro.util.errors.CommunicationError`-taxonomy mapping, kept
+  consistent with :func:`repro.util.errors.is_retryable`;
+- :class:`InvocationObserver` — explicit pre/post interception hook points
+  threaded through stub → client platform → wire → skeleton → servant, so
+  tracing/metrics attach without touching adapters.
+
+This module must stay platform-agnostic: importing :mod:`repro.orb`,
+:mod:`repro.rmi`, or :mod:`repro.http` here is a layering violation
+(machine-checked by ``tools/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from abc import abstractmethod
+from typing import Any, Callable, Iterable
+
+from repro.core.interfaces import ClientPlatform, ServerPlatform
+from repro.core.request import (
+    PB_ATTEMPT,
+    PB_CLIENT_ID,
+    PB_DEADLINE,
+    PB_ENCRYPTED,
+    PB_FORWARDED,
+    PB_PRIORITY,
+    PB_REQUEST_ID,
+    PB_SIGNATURE,
+    Request,
+)
+from repro.serialization.jser import jser_dumps, jser_loads
+from repro.util.errors import (
+    BindError,
+    CommunicationError,
+    ServerFailedError,
+    is_retryable,
+)
+
+#: The reserved operation name of the replica control plane.  Requests with
+#: this operation carry ``[kind, sender_replica, payload]`` and are routed to
+#: the Cactus server's ``control:<kind>`` event by the CQoS skeleton.
+CONTROL_OPERATION = "__cqos__"
+#: Control kind answered directly by every skeleton (liveness probes).
+CONTROL_PING = "ping"
+
+
+# -- observers ----------------------------------------------------------------
+
+
+class InvocationObserver:
+    """Pre/post interception hook points along the invocation pipeline.
+
+    Subclass and override any subset; every hook is a no-op by default and
+    observer exceptions are swallowed (observation must never change
+    request outcomes).  The stages, in client→server order:
+
+    - ``on_stub_request`` / ``on_stub_complete`` — the CQoS stub boundary
+      (one abstract request per application call);
+    - ``on_wire_send`` / ``on_wire_reply`` / ``on_wire_failure`` — each
+      physical send attempt through the client platform (replication and
+      retries produce several per request);
+    - ``on_skeleton_receive`` / ``on_skeleton_reply`` /
+      ``on_skeleton_failure`` — the server-side interception boundary;
+    - ``on_servant_invoke`` / ``on_servant_return`` — the native call into
+      the real server object.
+    """
+
+    # client side -----------------------------------------------------------
+
+    def on_stub_request(self, request: Request) -> None: ...
+
+    def on_stub_complete(self, request: Request, error: BaseException | None) -> None: ...
+
+    def on_wire_send(self, request: Request, server: int) -> None: ...
+
+    def on_wire_reply(self, request: Request, server: int, value: Any) -> None: ...
+
+    def on_wire_failure(self, request: Request, server: int, error: BaseException) -> None: ...
+
+    # server side -----------------------------------------------------------
+
+    def on_skeleton_receive(self, object_id: str, operation: str, context: dict) -> None: ...
+
+    def on_skeleton_reply(self, object_id: str, operation: str, value: Any) -> None: ...
+
+    def on_skeleton_failure(self, object_id: str, operation: str, error: BaseException) -> None: ...
+
+    def on_servant_invoke(self, request: Request) -> None: ...
+
+    def on_servant_return(self, request: Request, value: Any) -> None: ...
+
+
+def notify_observers(observers: Iterable[InvocationObserver], hook: str, *args: Any) -> None:
+    """Deliver one hook to every observer, swallowing observer failures."""
+    for observer in observers:
+        try:
+            getattr(observer, hook)(*args)
+        except Exception:  # noqa: BLE001 - observation must not alter outcomes
+            pass
+
+
+# -- piggyback codec ----------------------------------------------------------
+
+
+class PiggybackCodec:
+    """Registry of piggyback keys + the shared textual header encoding.
+
+    The CORBA and RMI substrates ship the piggyback dict natively (GIOP
+    service context / JRMP call context), so only header-based transports
+    need an encoding: each entry becomes one ``x-cqos-<key>`` header whose
+    value is the hex of the key's jser-encoded value, so *any*
+    marshallable value (non-string, non-ASCII, nested, binary) survives
+    header transport losslessly.
+
+    Header names are case-folded and latin-1-constrained by HTTP, so keys
+    that are not safe lower-case tokens are escaped as ``x-cqos-!<hex of
+    jser(key)>`` — ``!`` cannot appear in a safe token, making the escape
+    unambiguous, and safe keys (every well-known ``cqos_*`` key) keep
+    their historical byte-identical wire form.
+
+    ``declare()`` records a well-known key with documentation; adapters
+    never enumerate keys, so declaring a new one here is the *only* step
+    needed to introduce it.
+    """
+
+    PREFIX = "x-cqos-"
+    _ESCAPE = "!"
+    _SAFE_KEY = re.compile(r"[a-z0-9_.\-]+\Z")
+
+    def __init__(self) -> None:
+        self._declared: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- key registry -------------------------------------------------------
+
+    def declare(self, key: str, doc: str = "") -> str:
+        """Register a well-known piggyback key; returns the key."""
+        with self._lock:
+            self._declared[key] = doc
+        return key
+
+    def declared_keys(self) -> dict[str, str]:
+        """The registered well-known keys and their documentation."""
+        with self._lock:
+            return dict(self._declared)
+
+    # -- header encoding ----------------------------------------------------
+
+    def encode_headers(self, piggyback: dict | None) -> dict[str, str]:
+        """Encode a piggyback dict as transport-safe ``x-cqos-*`` headers."""
+        headers: dict[str, str] = {}
+        for key, value in (piggyback or {}).items():
+            if isinstance(key, str) and self._SAFE_KEY.match(key):
+                name = f"{self.PREFIX}{key}"
+            else:
+                name = f"{self.PREFIX}{self._ESCAPE}{jser_dumps(key).hex()}"
+            headers[name] = jser_dumps(value).hex()
+        return headers
+
+    def decode_headers(self, headers: dict[str, str]) -> dict:
+        """Decode ``x-cqos-*`` headers back into the piggyback dict."""
+        piggyback: dict = {}
+        for name, value in headers.items():
+            if not name.startswith(self.PREFIX):
+                continue
+            raw_key = name[len(self.PREFIX):]
+            if raw_key.startswith(self._ESCAPE):
+                key = jser_loads(bytes.fromhex(raw_key[len(self._ESCAPE):]))
+            else:
+                key = raw_key
+            piggyback[key] = jser_loads(bytes.fromhex(value))
+        return piggyback
+
+
+#: The process-wide codec instance, with every well-known key declared once.
+PIGGYBACK_CODEC = PiggybackCodec()
+PIGGYBACK_CODEC.declare(PB_REQUEST_ID, "client-assigned request identity (replica correlation)")
+PIGGYBACK_CODEC.declare(PB_CLIENT_ID, "originating client identity")
+PIGGYBACK_CODEC.declare(PB_PRIORITY, "scheduling priority (timeliness protocols)")
+PIGGYBACK_CODEC.declare(PB_ENCRYPTED, "parameters are DES-encrypted (privacy protocols)")
+PIGGYBACK_CODEC.declare(PB_SIGNATURE, "request MAC (integrity protocols)")
+PIGGYBACK_CODEC.declare(PB_FORWARDED, "replica-forwarded duplicate (passive replication)")
+PIGGYBACK_CODEC.declare(PB_DEADLINE, "absolute deadline on the shared monotonic clock")
+PIGGYBACK_CODEC.declare(PB_ATTEMPT, "send-attempt number stamped by retry protocols")
+
+
+# -- fault taxonomy -----------------------------------------------------------
+#
+# One shared answer to "what should the binding layer do about this platform
+# fault?", the counterpart of repro.util.errors.is_retryable's "is this worth
+# retrying?".  The two stay consistent by construction:
+#
+# - ServerFailedError (host crashed, not retryable) => MARK_FAILED: remember
+#   the replica as down so server_status() reports it; failover is the right
+#   reaction and bind() is the explicit recovery path;
+# - every other CommunicationError (transient: loss, reset, partition flap,
+#   timeout — exactly the retryable class plus spent deadlines / open
+#   breakers, which never held a binding worth keeping) => DROP_BINDING:
+#   forget the cached endpoint so the next attempt reconnects, but do NOT
+#   mark the replica failed;
+# - everything else (application outcomes, marshalling) => KEEP: the binding
+#   is healthy, the request simply has a non-transport outcome.
+
+ACTION_MARK_FAILED = "mark_failed"
+ACTION_DROP_BINDING = "drop_binding"
+ACTION_KEEP = "keep"
+
+
+def fault_action(error: BaseException | None) -> str:
+    """Classify a platform fault into the binding-layer reaction."""
+    if isinstance(error, ServerFailedError):
+        return ACTION_MARK_FAILED
+    if isinstance(error, CommunicationError):
+        # Exactly the is_retryable() class plus the non-retryable local
+        # rejections (deadline spent, breaker open); none of them indicate
+        # a crashed replica, so the binding is dropped but the replica is
+        # not marked failed.
+        return ACTION_DROP_BINDING
+    return ACTION_KEEP
+
+
+# -- replica directory --------------------------------------------------------
+
+
+class ReplicaDirectory:
+    """Replica-number → endpoint directory with lazy binding and liveness.
+
+    "The interface allows the server replicas to be referred to by numbers
+    (1..N) rather than by application or middleware specific identifiers."
+    The directory owns that mapping for one target object: the platform's
+    naming convention (``name_for``) formats the per-replica name, the
+    resolver turns the name into an opaque endpoint (IOR reference, remote
+    ref, HTTP address pair), and the directory caches endpoints, tracks
+    lock-guarded failure marks, and counts replicas by prefix enumeration.
+
+    Resolution failures that are not communication errors (a name simply not
+    bound — each platform's bootstrap service reports this differently) are
+    normalized to :class:`~repro.util.errors.BindError` so ``bind()`` has one
+    observable failure mode on every platform.
+    """
+
+    def __init__(
+        self,
+        name_for: Callable[[int], str],
+        resolve: Callable[[str], Any],
+        list_names: Callable[[str], list] | None = None,
+        prefix: str | None = None,
+    ):
+        self._name_for = name_for
+        self._resolve = resolve
+        self._list_names = list_names
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._endpoints: dict[int, Any] = {}
+        self._failed: set[int] = set()
+        self._count: int | None = None
+
+    def _resolve_name(self, replica: int) -> Any:
+        name = self._name_for(replica)
+        try:
+            return self._resolve(name)
+        except CommunicationError:
+            raise  # the bootstrap service itself is unreachable
+        except BindError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - platform-specific "not bound"
+            raise BindError(f"cannot resolve {name!r}: {exc}") from exc
+
+    def bind(self, replica: int) -> None:
+        """(Re-)bind ``replica``: clear its failure mark, resolve lazily.
+
+        Also the recovery path: "the bind() operation can also be used to
+        rebind to a failed server after it has recovered."
+        """
+        with self._lock:
+            bound = replica in self._endpoints
+            self._failed.discard(replica)  # rebinding clears failure knowledge
+        if bound:
+            return
+        endpoint = self._resolve_name(replica)
+        with self._lock:
+            self._endpoints[replica] = endpoint
+
+    def endpoint(self, replica: int) -> Any:
+        """The (lazily bound) endpoint for ``replica``."""
+        with self._lock:
+            endpoint = self._endpoints.get(replica)
+        if endpoint is not None:
+            return endpoint
+        endpoint = self._resolve_name(replica)
+        with self._lock:
+            self._endpoints[replica] = endpoint
+            return self._endpoints[replica]
+
+    def drop(self, replica: int) -> None:
+        """Forget the cached endpoint (next use re-resolves/reconnects)."""
+        with self._lock:
+            self._endpoints.pop(replica, None)
+
+    def mark_failed(self, replica: int) -> None:
+        """Record the replica as down and drop its binding."""
+        with self._lock:
+            self._failed.add(replica)
+            self._endpoints.pop(replica, None)
+
+    def status(self, replica: int) -> bool:
+        """True while the replica is not marked failed (local knowledge)."""
+        with self._lock:
+            return replica not in self._failed
+
+    def failed_replicas(self) -> set[int]:
+        with self._lock:
+            return set(self._failed)
+
+    def apply_fault(self, replica: int, error: BaseException) -> str:
+        """React to a platform fault per the shared taxonomy; returns the action."""
+        action = fault_action(error)
+        if action == ACTION_MARK_FAILED:
+            self.mark_failed(replica)
+        elif action == ACTION_DROP_BINDING:
+            self.drop(replica)
+        return action
+
+    def count(self) -> int:
+        """Replica count by prefix enumeration (cached; at least 1)."""
+        if self._list_names is None or self._prefix is None:
+            raise BindError("directory was built without an enumeration strategy")
+        with self._lock:
+            if self._count is not None:
+                return self._count
+        found = len(self._list_names(self._prefix))
+        with self._lock:
+            self._count = max(found, 1)
+            return self._count
+
+    def refresh(self) -> None:
+        """Drop every binding, failure mark, and the cached count."""
+        with self._lock:
+            self._endpoints.clear()
+            self._failed.clear()
+            self._count = None
+
+
+# -- client platform base ------------------------------------------------------
+
+
+class BaseClientPlatform(ClientPlatform):
+    """Platform-independent client half of the Cactus QoS interface.
+
+    Owns the whole request lifecycle — lazy binding through a
+    :class:`ReplicaDirectory`, ``server_status`` liveness marks, active
+    ``probe()`` via the skeleton's control ping, and the shared fault
+    taxonomy.  A concrete adapter supplies only its codec surface:
+
+    - ``_replica_name(replica)`` / ``_replica_prefix()`` — the paper's
+      naming convention for this platform;
+    - ``_resolve(name)`` — bootstrap-service lookup, returning an opaque
+      endpoint;
+    - ``_list_names(prefix)`` — bootstrap-service enumeration;
+    - ``_send(endpoint, operation, params, piggyback)`` — convert the
+      abstract request into one platform request and invoke it.
+    """
+
+    def __init__(self, object_id: str, observers: Iterable[InvocationObserver] | None = None):
+        self.object_id = object_id
+        self.observers: list[InvocationObserver] = list(observers or ())
+        self.directory = ReplicaDirectory(
+            name_for=self._replica_name,
+            resolve=self._resolve,
+            list_names=self._list_names,
+            prefix=self._replica_prefix(),
+        )
+
+    def add_observer(self, observer: InvocationObserver) -> None:
+        self.observers.append(observer)
+
+    # -- codec surface (subclass responsibility) ----------------------------
+
+    @abstractmethod
+    def _replica_name(self, replica: int) -> str:
+        """The bootstrap-service name of one replica (naming convention)."""
+
+    @abstractmethod
+    def _replica_prefix(self) -> str:
+        """The enumeration prefix shared by every replica of the object."""
+
+    @abstractmethod
+    def _resolve(self, name: str) -> Any:
+        """Look one name up in the platform's bootstrap service."""
+
+    @abstractmethod
+    def _list_names(self, prefix: str) -> list:
+        """Enumerate bootstrap-service names under ``prefix``."""
+
+    @abstractmethod
+    def _send(self, endpoint: Any, operation: str, params: list, piggyback: dict | None) -> Any:
+        """Convert to a platform request, invoke it, return the reply value."""
+
+    # -- Cactus QoS interface (shared lifecycle) ----------------------------
+
+    def num_servers(self) -> int:
+        return self.directory.count()
+
+    def refresh(self) -> None:
+        """Drop cached bindings and replica count (re-discover on next use)."""
+        self.directory.refresh()
+
+    def bind(self, server: int) -> None:
+        self.directory.bind(server)
+
+    def server_status(self, server: int) -> bool:
+        return self.directory.status(server)
+
+    def probe(self, server: int) -> bool:
+        """Active liveness check via the skeleton's control ping."""
+        try:
+            endpoint = self.directory.endpoint(server)
+            alive = bool(self._send(endpoint, CONTROL_OPERATION, [CONTROL_PING, 0, {}], None))
+        except (CommunicationError, BindError):
+            alive = False
+        if not alive:
+            self.directory.mark_failed(server)
+        return alive
+
+    def invoke_server(self, server: int, request: Request) -> Any:
+        self.directory.bind(server)
+        endpoint = self.directory.endpoint(server)
+        notify_observers(self.observers, "on_wire_send", request, server)
+        try:
+            value = self._send(
+                endpoint, request.operation, request.get_params(), dict(request.piggyback)
+            )
+        except BaseException as exc:
+            # ServerFailedError marks the replica down (server_status sees
+            # it); transient CommunicationErrors only drop the binding so
+            # the next attempt reconnects.
+            self.directory.apply_fault(server, exc)
+            notify_observers(self.observers, "on_wire_failure", request, server, exc)
+            raise
+        notify_observers(self.observers, "on_wire_reply", request, server, value)
+        return value
+
+
+# -- server platform base ------------------------------------------------------
+
+
+class BaseServerPlatform(ServerPlatform):
+    """Platform-independent server half of the Cactus QoS interface.
+
+    Owns servant dispatch bookkeeping and the replica control plane
+    (``peer_invoke`` / ``peer_status``) on top of a peer
+    :class:`ReplicaDirectory` — "identical techniques to establish
+    connections between server object replicas".  A concrete adapter
+    supplies ``_peer_name``, ``_resolve`` and ``_send`` (same codec surface
+    as the client side) plus a ``dispatch`` object implementing
+    ``dispatch(operation, params)`` for the native call into the servant.
+    """
+
+    def __init__(
+        self,
+        object_id: str,
+        replica: int,
+        dispatch: Any,
+        total_replicas: int = 1,
+        observers: Iterable[InvocationObserver] | None = None,
+    ):
+        self.object_id = object_id
+        self._replica = replica
+        self._total = total_replicas
+        self._dispatch = dispatch
+        self.observers: list[InvocationObserver] = list(observers or ())
+        self.peers = ReplicaDirectory(name_for=self._peer_name, resolve=self._resolve)
+
+    def add_observer(self, observer: InvocationObserver) -> None:
+        self.observers.append(observer)
+
+    # -- codec surface (subclass responsibility) ----------------------------
+
+    @abstractmethod
+    def _peer_name(self, replica: int) -> str:
+        """The bootstrap-service name of a peer replica's skeleton."""
+
+    @abstractmethod
+    def _resolve(self, name: str) -> Any:
+        """Look one name up in the platform's bootstrap service."""
+
+    @abstractmethod
+    def _send(self, endpoint: Any, operation: str, params: list, piggyback: dict | None) -> Any:
+        """Send one platform request to a peer endpoint."""
+
+    # -- Cactus QoS interface (shared lifecycle) ----------------------------
+
+    def invoke_servant(self, request: Request) -> Any:
+        notify_observers(self.observers, "on_servant_invoke", request)
+        value = self._dispatch.dispatch(request.operation, request.get_params())
+        notify_observers(self.observers, "on_servant_return", request, value)
+        return value
+
+    def my_replica(self) -> int:
+        return self._replica
+
+    def num_replicas(self) -> int:
+        return self._total
+
+    def peer_invoke(self, replica: int, kind: str, payload: dict) -> Any:
+        endpoint = self.peers.endpoint(replica)
+        try:
+            return self._send(
+                endpoint, CONTROL_OPERATION, [kind, self._replica, payload], None
+            )
+        except CommunicationError:
+            self.peers.drop(replica)
+            raise
+
+    def peer_status(self, replica: int) -> bool:
+        try:
+            endpoint = self.peers.endpoint(replica)
+            return bool(
+                self._send(
+                    endpoint, CONTROL_OPERATION, [CONTROL_PING, self._replica, {}], None
+                )
+            )
+        except (CommunicationError, BindError):
+            self.peers.drop(replica)
+            return False
+
+
+# -- skeleton servant base -----------------------------------------------------
+
+
+class BaseSkeletonServant:
+    """Platform-independent wrapper delivering upcalls to the skeleton core.
+
+    The generic ``invoke(method, arguments, context)`` signature is exactly
+    what the RMI generic export and the HTTP generic mount expect; the
+    CORBA adapter subclasses this and adapts the DSI ``ServerRequest``
+    calling convention onto :meth:`dispatch_invocation`.
+    """
+
+    def __init__(self, skeleton: Any, observers: Iterable[InvocationObserver] | None = None):
+        self.skeleton = skeleton
+        self.observers: list[InvocationObserver] = list(observers or ())
+
+    def add_observer(self, observer: InvocationObserver) -> None:
+        self.observers.append(observer)
+
+    def dispatch_invocation(self, operation: str, arguments: list, context: dict) -> Any:
+        """Run one intercepted platform request through the CQoS skeleton."""
+        notify_observers(
+            self.observers, "on_skeleton_receive", self.skeleton.object_id, operation, context
+        )
+        try:
+            value = self.skeleton.handle_invocation(operation, arguments, context)
+        except BaseException as exc:
+            notify_observers(
+                self.observers, "on_skeleton_failure", self.skeleton.object_id, operation, exc
+            )
+            raise
+        notify_observers(
+            self.observers, "on_skeleton_reply", self.skeleton.object_id, operation, value
+        )
+        return value
+
+    def invoke(self, method: str, arguments: list, context: dict) -> Any:
+        """The generic-invoke entry point (RMI export / HTTP mount)."""
+        return self.dispatch_invocation(method, arguments, context)
+
+
+# -- naming conventions --------------------------------------------------------
+#
+# The paper's platform naming conventions, verbatim.  They are *used* by the
+# adapters (they are part of each platform's codec surface) but live here so
+# deployment code and tests can format replica names without importing a
+# platform module, and so the historical adapter-level helper names keep
+# working as re-exports.
+
+
+def corba_poa_name(object_id: str, replica: int) -> str:
+    """The paper's POA naming convention: ``"OID_agent_poa_i"``."""
+    return f"{object_id}_agent_poa_{replica}"
+
+
+def corba_skeleton_object_id(object_id: str) -> str:
+    """The shared CORBA skeleton object id: ``"OID_CQoS_Skeleton"``."""
+    return f"{object_id}_CQoS_Skeleton"
+
+
+def corba_replica_name(object_id: str, replica: int) -> str:
+    """The naming-service entry for one CORBA replica: ``"OID/replica-i"``."""
+    return f"{object_id}/replica-{replica}"
+
+
+def corba_replica_prefix(object_id: str) -> str:
+    return f"{object_id}/replica-"
+
+
+def rmi_skeleton_name(object_id: str, replica: int) -> str:
+    """The paper's registry naming convention: ``"OID_CQoS_Skeleton_i"``."""
+    return f"{object_id}_CQoS_Skeleton_{replica}"
+
+
+def rmi_skeleton_prefix(object_id: str) -> str:
+    return f"{object_id}_CQoS_Skeleton_"
+
+
+def http_replica_name(object_id: str, replica: int) -> str:
+    """Path-registry naming convention for HTTP replicas: ``"OID/replica-i"``."""
+    return f"{object_id}/replica-{replica}"
+
+
+def http_replica_prefix(object_id: str) -> str:
+    return f"{object_id}/replica-"
+
+
+def http_skeleton_object_id(object_id: str) -> str:
+    """The mounted CQoS skeleton's HTTP object id: ``"OID_CQoS_Skeleton"``."""
+    return f"{object_id}_CQoS_Skeleton"

@@ -179,6 +179,7 @@ class CqosDeployment:
         replicas: int = 1,
         server_micro_protocols: MpConfig = "with_base",
         priority_policy: Callable[[Request], int] | None = None,
+        observers: Sequence[Any] | None = None,
     ) -> list[CqosSkeleton]:
         """Deploy ``replicas`` CQoS-intercepted replicas of one object.
 
@@ -188,6 +189,10 @@ class CqosDeployment:
         - a factory / spec list / name list — those protocols *plus*
           ServerBase appended last;
         - ``None`` — no Cactus server at all (pass-through skeleton).
+
+        ``observers`` attaches kernel
+        :class:`~repro.core.platform.InvocationObserver` hooks to every
+        replica's skeleton boundary and servant dispatch.
         """
         skeletons: list[CqosSkeleton] = []
         for replica in range(1, replicas + 1):
@@ -207,6 +212,7 @@ class CqosDeployment:
                     interface,
                     cactus_server_factory=factory,
                     total_replicas=replicas,
+                    observers=observers,
                 )
             elif self.platform == "rmi":
                 runtime = self._new_rmi(host_name).start()
@@ -218,6 +224,7 @@ class CqosDeployment:
                     interface,
                     cactus_server_factory=factory,
                     total_replicas=replicas,
+                    observers=observers,
                 )
             else:
                 http_server = self._new_http_server(host_name).start()
@@ -232,6 +239,7 @@ class CqosDeployment:
                     interface,
                     cactus_server_factory=factory,
                     total_replicas=replicas,
+                    observers=observers,
                 )
             skeletons.append(skeleton)
         return skeletons
@@ -317,24 +325,29 @@ class CqosDeployment:
         priority: int | None = None,
         host_name: str | None = None,
         runtime_workers: int | None = None,
+        observers: Sequence[Any] | None = None,
     ) -> CqosStub:
         """Create a CQoS stub for ``object_id`` on a fresh client host.
 
         ``client_micro_protocols`` mirrors ``add_replicas``:
         ``"with_base"`` → ClientBase only; a config → those plus ClientBase;
         it is ignored when ``with_cactus_client=False`` (pass-through stub,
-        Table 1's "+CQoS stub" rung).
+        Table 1's "+CQoS stub" rung).  ``observers`` attaches kernel
+        :class:`~repro.core.platform.InvocationObserver` hooks to the stub
+        boundary and every wire send.
         """
         host = host_name or f"client-{self._ids.next_int()}"
         if self.platform == "corba":
             orb = self._new_orb(host)
-            platform = CorbaClientPlatform(orb, object_id)
+            platform = CorbaClientPlatform(orb, object_id, observers=observers)
         elif self.platform == "rmi":
             runtime = self._new_rmi(host)
-            platform = RmiClientPlatform(runtime, object_id)
+            platform = RmiClientPlatform(runtime, object_id, observers=observers)
         else:
             http_client, registry = self._http_registry_client(host)
-            platform = HttpClientPlatform(http_client, registry, object_id)
+            platform = HttpClientPlatform(
+                http_client, registry, object_id, observers=observers
+            )
         cactus_client: CactusClient | None = None
         if with_cactus_client:
             # Replication against gated replicas parks invocation legs on
@@ -371,6 +384,7 @@ class CqosDeployment:
             cactus_client=cactus_client,
             client_id=client_id,
             priority=priority,
+            observers=observers,
         )
 
     def plain_stub(

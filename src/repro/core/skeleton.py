@@ -22,11 +22,12 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.interfaces import ServerPlatform
+
+# Canonical home of the control-plane constants is the invocation kernel;
+# re-exported here for backwards compatibility with pre-kernel imports.
+from repro.core.platform import CONTROL_OPERATION, CONTROL_PING
 from repro.core.request import PB_REQUEST_ID, Request
 from repro.core.server import CactusServer
-
-CONTROL_OPERATION = "__cqos__"
-CONTROL_PING = "ping"
 
 
 class CqosSkeleton:

@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.core.client import CactusClient
 from repro.core.interfaces import ClientPlatform
+from repro.core.platform import InvocationObserver, notify_observers
 from repro.core.request import PB_CLIENT_ID, PB_PRIORITY, PB_REQUEST_ID, Request
 from repro.idl.compiler import InterfaceDef
 from repro.util.ids import unique_id
@@ -38,14 +39,20 @@ class CqosStub:
         cactus_client: CactusClient | None = None,
         client_id: str | None = None,
         priority: int | None = None,
+        observers: list[InvocationObserver] | None = None,
     ):
         self._platform = platform
         self._object_id = object_id
         self._cactus_client = cactus_client
         self._client_id = client_id or unique_id("client")
         self._priority = priority
+        self._observers: list[InvocationObserver] = list(observers or ())
         self._pending: dict[str, Request] = {}
         self._pending_lock = threading.Lock()
+
+    def add_observer(self, observer: InvocationObserver) -> None:
+        """Attach a kernel hook at the stub (application-call) boundary."""
+        self._observers.append(observer)
 
     @property
     def client_id(self) -> str:
@@ -80,6 +87,8 @@ class CqosStub:
         request = self._make_request(operation, args)
         with self._pending_lock:
             self._pending[request.request_id] = request
+        notify_observers(self._observers, "on_stub_request", request)
+        error: BaseException | None = None
         try:
             if self._cactus_client is not None:
                 return self._cactus_client.cactus_request(request)
@@ -87,9 +96,13 @@ class CqosStub:
             request.server = 1
             self._platform.bind(1)
             return self._platform.invoke_server(1, request)
+        except BaseException as exc:
+            error = exc
+            raise
         finally:
             with self._pending_lock:
                 self._pending.pop(request.request_id, None)
+            notify_observers(self._observers, "on_stub_complete", request, error)
 
 
 def _make_method(operation_name: str, arity: int):

@@ -4,21 +4,23 @@ One request and one response per transport frame (the framing the
 underlying transport already provides plays the role of Content-Length
 enforcement on a raw socket; Content-Length is still emitted and checked
 for fidelity).  Bodies are binary (the jser codec's output); CQoS piggyback
-entries travel as ``X-CQoS-<key>`` headers with hex-encoded jser values, so
-arbitrary piggyback values survive header transport.
+entries travel as ``X-CQoS-<key>`` headers encoded by the invocation
+kernel's shared :class:`~repro.core.platform.PiggybackCodec` (hex-encoded
+jser values; non-token keys escaped the same way), so arbitrary piggyback
+keys *and* values survive header transport losslessly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.serialization.jser import jser_dumps, jser_loads
+from repro.core.platform import PIGGYBACK_CODEC
 from repro.util.errors import MarshalError
 
 _CRLF = b"\r\n"
 _VERSION = b"HTTP/1.0"
 
-PIGGYBACK_PREFIX = "x-cqos-"
+PIGGYBACK_PREFIX = PIGGYBACK_CODEC.PREFIX
 
 STATUS_REASONS = {
     200: "OK",
@@ -39,12 +41,7 @@ class HttpRequest:
 
     def piggyback(self) -> dict:
         """Decode the ``X-CQoS-*`` headers back into a piggyback dict."""
-        result = {}
-        for name, value in self.headers.items():
-            if name.startswith(PIGGYBACK_PREFIX):
-                key = name[len(PIGGYBACK_PREFIX):]
-                result[key] = jser_loads(bytes.fromhex(value))
-        return result
+        return PIGGYBACK_CODEC.decode_headers(self.headers)
 
 
 @dataclass
@@ -60,10 +57,7 @@ class HttpResponse:
 
 def piggyback_headers(piggyback: dict) -> dict[str, str]:
     """Encode a piggyback dict as ``X-CQoS-*`` headers."""
-    return {
-        f"{PIGGYBACK_PREFIX}{key}": jser_dumps(value).hex()
-        for key, value in piggyback.items()
-    }
+    return PIGGYBACK_CODEC.encode_headers(piggyback)
 
 
 def _format_headers(headers: dict[str, str], body: bytes) -> bytes:

@@ -1,0 +1,259 @@
+"""Cross-platform contract suite for the invocation kernel.
+
+One parameterized suite asserting *identical observable behavior* of the
+Cactus QoS interface across all three platform adapters (CORBA, RMI, HTTP):
+bind/rebind semantics, ``server_status`` transitions, piggyback round-trip
+fidelity (including non-ASCII keys and non-string values), the control
+ping, and the shared fault taxonomy.  Any behavioral divergence between
+adapters is a kernel regression — the paper's portability claim, made
+executable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import (
+    ACTION_DROP_BINDING,
+    ACTION_KEEP,
+    ACTION_MARK_FAILED,
+    InvocationObserver,
+    fault_action,
+)
+from repro.core.request import PB_REQUEST_ID, Request
+from repro.util.errors import (
+    BindError,
+    CircuitOpenError,
+    CommunicationError,
+    DeadlineExceededError,
+    InvocationError,
+    MarshalError,
+    ServerFailedError,
+    TimeoutError_,
+    is_retryable,
+)
+from tests.conftest import make_account
+
+REPLICAS = 2
+
+
+class RecordingObserver(InvocationObserver):
+    """Captures every kernel hook it sees, in order."""
+
+    def __init__(self):
+        self.events: list[tuple] = []
+
+    def __getattribute__(self, name):
+        if name.startswith("on_"):
+            events = object.__getattribute__(self, "events")
+            return lambda *args: events.append((name, *args))
+        return object.__getattribute__(self, name)
+
+
+@pytest.fixture
+def server_observer():
+    return RecordingObserver()
+
+
+@pytest.fixture
+def contract(deployment, bank_iface, server_observer):
+    """Two intercepted replicas + a pass-through client platform."""
+    deployment.add_replicas(
+        "acct",
+        make_account(),
+        bank_iface,
+        replicas=REPLICAS,
+        server_micro_protocols=None,
+        observers=[server_observer],
+    )
+    stub = deployment.client_stub("acct", bank_iface, with_cactus_client=False)
+    return deployment, stub, stub._platform
+
+
+def make_request(operation: str, params: list, piggyback: dict | None = None) -> Request:
+    request = Request(
+        object_id="acct", operation=operation, params=params, piggyback=dict(piggyback or {})
+    )
+    request.piggyback.setdefault(PB_REQUEST_ID, request.request_id)
+    return request
+
+
+# -- replica discovery and binding ------------------------------------------
+
+
+def test_num_servers_counts_registered_replicas(contract):
+    _, _, platform = contract
+    assert platform.num_servers() == REPLICAS
+
+
+def test_bind_unknown_replica_raises_bind_error(contract):
+    """Every platform's 'name not bound' surfaces as the same BindError."""
+    _, _, platform = contract
+    with pytest.raises(BindError):
+        platform.bind(99)
+
+
+def test_bind_is_idempotent_and_lazy(contract):
+    _, _, platform = contract
+    platform.bind(1)
+    platform.bind(1)  # second bind is a no-op, not an error
+    assert platform.server_status(1)
+
+
+def test_invoke_through_each_replica(contract):
+    _, _, platform = contract
+    for replica in range(1, REPLICAS + 1):
+        platform.bind(replica)
+        request = make_request("set_balance", [10.0 * replica])
+        platform.invoke_server(replica, request)
+        reply = platform.invoke_server(replica, make_request("get_balance", []))
+        assert reply == 10.0 * replica
+
+
+# -- server_status transitions ----------------------------------------------
+
+
+def test_status_starts_up_and_marks_failed_on_crash(contract):
+    deployment, _, platform = contract
+    assert platform.server_status(1)
+    deployment.crash_replica("acct", 1)
+    with pytest.raises(ServerFailedError):
+        platform.invoke_server(1, make_request("get_balance", []))
+    # The crash was observed: local knowledge now reports the replica down.
+    assert not platform.server_status(1)
+    # Other replicas are unaffected.
+    assert platform.server_status(2)
+
+
+def test_rebind_clears_failure_mark_after_recovery(contract):
+    deployment, _, platform = contract
+    deployment.crash_replica("acct", 1)
+    with pytest.raises(ServerFailedError):
+        platform.invoke_server(1, make_request("get_balance", []))
+    assert not platform.server_status(1)
+    deployment.recover_replica("acct", 1)
+    # "the bind() operation can also be used to rebind to a failed server
+    # after it has recovered."
+    platform.bind(1)
+    assert platform.server_status(1)
+    assert platform.invoke_server(1, make_request("get_balance", [])) == 0.0
+
+
+# -- control ping -------------------------------------------------------------
+
+
+def test_probe_true_while_up_false_after_crash(contract):
+    deployment, _, platform = contract
+    assert platform.probe(1)
+    deployment.crash_replica("acct", 1)
+    assert not platform.probe(1)
+    assert not platform.server_status(1)  # probe failure marks the replica
+    deployment.recover_replica("acct", 1)
+    platform.bind(1)
+    assert platform.probe(1)
+
+
+def test_probe_unresolvable_replica_is_false_not_raise(contract):
+    _, _, platform = contract
+    assert not platform.probe(99)
+    assert not platform.server_status(99)
+
+
+# -- piggyback round-trip -----------------------------------------------------
+
+AWKWARD_PIGGYBACK = {
+    "plain": "value",
+    "non_ascii_value": "héllo → мир ✓",
+    "integer": 42,
+    "floaty": 2.5,
+    "binary": b"\x00\xff\xfe",
+    "nested": {"list": [1, "two", 3.0], "flag": True},
+    "clé-à-accents": "non-ascii key",  # breaks latin-1 header names
+    "Mixed.Case_Key": "case must survive",  # breaks case-folding transports
+    7: "non-string key",
+}
+
+
+def test_piggyback_round_trips_identically(contract, server_observer):
+    """The skeleton sees byte-for-byte the piggyback the client attached —
+    including non-ASCII keys/values, ints, bytes, and nested structures —
+    on every platform."""
+    _, _, platform = contract
+    platform.bind(1)
+    request = make_request("get_balance", [], piggyback=dict(AWKWARD_PIGGYBACK))
+    platform.invoke_server(1, request)
+    contexts = [
+        event[3] for event in server_observer.events if event[0] == "on_skeleton_receive"
+    ]
+    assert contexts, "server observer saw no skeleton receive"
+    seen = contexts[-1]
+    for key, value in AWKWARD_PIGGYBACK.items():
+        assert seen[key] == value, f"piggyback entry {key!r} did not survive"
+    assert seen[PB_REQUEST_ID] == request.request_id
+
+
+def test_request_identity_preserved_across_interception(contract, server_observer):
+    """Replica-side abstract requests are rebuilt under the client's id."""
+    _, _, platform = contract
+    platform.bind(1)
+    request = make_request("get_balance", [])
+    platform.invoke_server(1, request)
+    servant_requests = [
+        event[1] for event in server_observer.events if event[0] == "on_servant_invoke"
+    ]
+    assert servant_requests and servant_requests[-1].request_id == request.request_id
+
+
+# -- error taxonomy -----------------------------------------------------------
+
+
+def test_application_exception_does_not_mark_replica(contract):
+    """An application (IDL) exception is an outcome, not a platform fault."""
+    deployment, stub, platform = contract
+    platform.bind(1)
+    with pytest.raises(Exception) as excinfo:
+        platform.invoke_server(1, make_request("withdraw", [1000.0]))
+    assert not isinstance(excinfo.value, CommunicationError)
+    assert platform.server_status(1)  # binding untouched
+
+
+def test_fault_taxonomy_matches_is_retryable():
+    """fault_action() and is_retryable() agree on the CommunicationError
+    taxonomy: crashes mark the replica, transients only drop the binding."""
+    crash = ServerFailedError("host down")
+    assert fault_action(crash) == ACTION_MARK_FAILED
+    assert not is_retryable(crash)
+    for transient in (
+        CommunicationError("reset"),
+        TimeoutError_("slow"),
+        DeadlineExceededError("spent"),
+        CircuitOpenError("open"),
+    ):
+        assert fault_action(transient) == ACTION_DROP_BINDING
+    for outcome in (
+        InvocationError("App", "boom"),
+        MarshalError("bad bytes"),
+        ValueError("not a platform fault"),
+        None,
+    ):
+        assert fault_action(outcome) == ACTION_KEEP
+
+
+def test_stub_and_wire_observers_fire_in_order(deployment, bank_iface):
+    """Client-side hooks thread stub → wire on every platform."""
+    observer = RecordingObserver()
+    deployment.add_replicas(
+        "acct", make_account(), bank_iface, replicas=1, server_micro_protocols=None
+    )
+    stub = deployment.client_stub(
+        "acct", bank_iface, with_cactus_client=False, observers=[observer]
+    )
+    stub.set_balance(5.0)
+    assert stub.get_balance() == 5.0
+    hooks = [name for name, *_ in observer.events]
+    assert hooks == [
+        "on_stub_request", "on_wire_send", "on_wire_reply", "on_stub_complete",
+    ] * 2
+    # Completion hook reports success (no error).
+    final = observer.events[-1]
+    assert final[0] == "on_stub_complete" and final[2] is None

@@ -1,0 +1,63 @@
+"""The layering lint, run as a tier-1 test.
+
+The paper's portability claim — QoS micro-protocols see only the abstract
+request and the Cactus QoS interface — is enforced statically by
+``tools/check_layering.py``; this wrapper makes every local/CI pytest run
+fail on a violation, and checks the checker itself catches one.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_layering  # noqa: E402
+
+
+def test_source_tree_has_no_layering_violations():
+    assert check_layering.check(REPO_ROOT / "src") == []
+
+
+def test_checker_flags_platform_import_in_qos(tmp_path):
+    """The lint actually bites: a planted violation is reported."""
+    pkg = tmp_path / "repro" / "qos"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "sneaky.py").write_text(
+        textwrap.dedent(
+            """
+            from repro.orb.orb import Orb
+            import repro.http.client
+            from repro.core.adapters.rmi import RmiClientPlatform
+            """
+        )
+    )
+    violations = check_layering.check(tmp_path)
+    assert len(violations) == 3
+    assert all("repro.qos.sneaky" in v for v in violations)
+
+
+def test_checker_resolves_relative_imports(tmp_path):
+    pkg = tmp_path / "repro" / "cactus"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("from . import composite\n")
+    (pkg / "composite.py").write_text("from ..rmi import runtime\n")
+    violations = check_layering.check(tmp_path)
+    assert len(violations) == 1
+    assert "repro.cactus.composite" in violations[0]
+    assert "repro.rmi" in violations[0]
+
+
+def test_kernel_is_platform_free():
+    """The invocation kernel itself must not import platform packages."""
+    assert "repro.core.platform" in check_layering.CONTRACTS
+    violations = [
+        v for v in check_layering.check(REPO_ROOT / "src") if "platform" in v
+    ]
+    assert violations == []

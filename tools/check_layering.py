@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Layering lint: make the paper's portability claim machine-checked.
+
+The QoS layer must see only the abstract request and the Cactus QoS
+interface — so the generic layers may never import a platform package.
+This script AST-scans ``src/repro`` and fails (exit 1) on violations of:
+
+- ``repro.qos`` and ``repro.cactus`` (the generic service components) must
+  not import ``repro.orb``, ``repro.rmi``, ``repro.http``, or
+  ``repro.core.adapters``;
+- the invocation kernel (``repro.core.platform``) and the other
+  platform-independent core modules (request/interfaces/stub/skeleton/
+  client/server/events) must not import platform packages either — only
+  the adapters and the deployment façade may.
+
+Usage::
+
+    python tools/check_layering.py [--root src]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+PLATFORM_PACKAGES = (
+    "repro.orb",
+    "repro.rmi",
+    "repro.http",
+    "repro.core.adapters",
+)
+
+# module-prefix -> packages it must never import
+CONTRACTS: dict[str, tuple[str, ...]] = {
+    "repro.qos": PLATFORM_PACKAGES,
+    "repro.cactus": PLATFORM_PACKAGES,
+    "repro.core.platform": PLATFORM_PACKAGES,
+    "repro.core.request": PLATFORM_PACKAGES,
+    "repro.core.interfaces": PLATFORM_PACKAGES,
+    "repro.core.events": PLATFORM_PACKAGES,
+    "repro.core.stub": PLATFORM_PACKAGES,
+    "repro.core.skeleton": PLATFORM_PACKAGES,
+    "repro.core.client": PLATFORM_PACKAGES,
+    "repro.core.server": PLATFORM_PACKAGES,
+}
+
+
+def module_name(path: Path, root: Path) -> str:
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def imported_modules(
+    tree: ast.AST, module: str, is_package: bool
+) -> list[tuple[int, str]]:
+    """Absolute module names imported anywhere in the file (with line)."""
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend((node.lineno, alias.name) for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # resolve explicit relative imports
+                parts = module.split(".")
+                # level 1 from a package refers to the package itself;
+                # from a plain module it refers to the containing package.
+                drop = node.level - 1 if is_package else node.level
+                base = parts[: len(parts) - drop] if drop else parts
+                name = ".".join(base + ([node.module] if node.module else []))
+                found.append((node.lineno, name))
+            else:
+                found.append((node.lineno, node.module or ""))
+    return found
+
+
+def banned_for(module: str) -> tuple[str, ...]:
+    for prefix, banned in CONTRACTS.items():
+        if module == prefix or module.startswith(prefix + "."):
+            return banned
+    return ()
+
+
+def check(root: Path) -> list[str]:
+    violations: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        module = module_name(path, root)
+        banned = banned_for(module)
+        if not banned:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        is_package = path.name == "__init__.py"
+        for lineno, imported in imported_modules(tree, module, is_package):
+            for target in banned:
+                if imported == target or imported.startswith(target + "."):
+                    violations.append(
+                        f"{path}:{lineno}: {module} imports {imported} "
+                        f"(platform package {target} is banned in this layer)"
+                    )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent / "src"),
+        help="source root containing the repro package",
+    )
+    options = parser.parse_args(argv)
+    violations = check(Path(options.root))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"FAIL: {len(violations)} layering violation(s)")
+        return 1
+    print("layering OK: generic layers import no platform packages")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
