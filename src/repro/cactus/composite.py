@@ -27,6 +27,8 @@ from repro.cactus.events import (
     Event,
     Handler,
     ORDER_DEFAULT,
+    _handling,
+    compiled_dispatch_default,
     current_event,
     validate_event_name,
 )
@@ -74,10 +76,20 @@ class SharedData:
 class CompositeProtocol:
     """A container of micro-protocols coordinating through events."""
 
-    def __init__(self, name: str, runtime: CactusRuntime | None = None):
+    def __init__(
+        self,
+        name: str,
+        runtime: CactusRuntime | None = None,
+        compiled_dispatch: bool | None = None,
+    ):
         self.name = name
         self.runtime = runtime or CactusRuntime(name=f"{name}-rt")
         self.shared = SharedData()
+        # Dispatch executor choice for every event of this composite; None
+        # defers to the CQOS_COMPILED_DISPATCH environment escape hatch.
+        if compiled_dispatch is None:
+            compiled_dispatch = compiled_dispatch_default()
+        self.compiled_dispatch = bool(compiled_dispatch)
         self._events: dict[str, Event] = {}
         self._events_lock = threading.Lock()
         self._micro_protocols: dict[str, "MicroProtocol"] = {}
@@ -86,19 +98,21 @@ class CompositeProtocol:
         self._trace_lock = threading.Lock()
         self._tracing = False
         self._trace_edges: set[tuple[str, str]] = set()
-        # Lightweight observability: per-event raise counts.
-        self._stats_lock = threading.Lock()
-        self._raise_counts: dict[str, int] = {}
 
     # -- events ----------------------------------------------------------
 
     def event(self, name: str) -> Event:
         """Return the event named ``name``, creating it on first use."""
+        # Lock-free hit: the dict is only ever grown, and dict reads are
+        # atomic under the GIL; creation double-checks under the lock.
+        event = self._events.get(name)
+        if event is not None:
+            return event
         validate_event_name(name)
         with self._events_lock:
             event = self._events.get(name)
             if event is None:
-                event = Event(self, name)
+                event = Event(self, name, compiled=self.compiled_dispatch)
                 self._events[name] = event
             return event
 
@@ -132,13 +146,41 @@ class CompositeProtocol:
         Returns None for blocking raises, a future for async raises, and a
         cancellable :class:`DelayedRaise` handle when ``delay`` is set.
         """
-        if mode not in ("blocking", "async"):
+        # Lock-free event lookup (events are only ever added) and inlined
+        # current_event(self): both run on every raise.
+        event = self._events.get(event_name)
+        if event is None:
+            event = self.event(event_name)
+        stack = getattr(_handling, "stack", None)
+        parent: str | None = None
+        if stack is None:
+            stack = []
+            _handling.stack = stack
+        elif stack:
+            owner, parent = stack[-1]
+            if owner is not self:
+                parent = None
+            elif self._tracing:
+                self._record_edge(parent, event_name)
+        if mode == "blocking" and delay == 0.0:
+            event.raise_count += 1
+            event._raise_blocking(args, parent, stack)
+            return None
+        return self._raise_slow(event, args, mode, delay, priority, parent)
+
+    def _raise_slow(
+        self,
+        event: Event,
+        args: tuple,
+        mode: str,
+        delay: float,
+        priority: int | None,
+        parent: str | None,
+    ) -> ResultFuture | DelayedRaise | None:
+        """Delayed, async, and invalid-mode raises (off the hot path)."""
+        if mode != "blocking" and mode != "async":
             raise ConfigurationError(f"unknown raise mode {mode!r}")
-        event = self.event(event_name)
-        parent = current_event(self)
-        self._record_edge(parent, event_name)
-        with self._stats_lock:
-            self._raise_counts[event_name] = self._raise_counts.get(event_name, 0) + 1
+        event.raise_count += 1
         if delay > 0.0:
             handle = DelayedRaise()
             self.runtime.submit_delayed(
@@ -152,7 +194,7 @@ class CompositeProtocol:
             return handle
         if mode == "async":
             return self.runtime.submit(event._execute, args, parent, priority=priority)
-        event._execute(args, parent)
+        event._raise_blocking(args, parent)
         return None
 
     # -- micro-protocols ----------------------------------------------------
@@ -224,13 +266,20 @@ class CompositeProtocol:
     # -- observability -----------------------------------------------------
 
     def event_stats(self) -> dict[str, int]:
-        """Raise counts per event name since creation (or the last reset)."""
-        with self._stats_lock:
-            return dict(self._raise_counts)
+        """Raise counts per event name since creation (or the last reset).
+
+        Counters live on the events themselves (maintained without a lock
+        on the raise path): exact for causally-serial flows, best-effort
+        when one event is raised from many threads at once.
+        """
+        with self._events_lock:
+            events = list(self._events.values())
+        return {event.name: event.raise_count for event in events if event.raise_count}
 
     def reset_event_stats(self) -> None:
-        with self._stats_lock:
-            self._raise_counts.clear()
+        with self._events_lock:
+            for event in self._events.values():
+                event.raise_count = 0
 
     def protocol_stats(self) -> dict[str, dict[str, int]]:
         """Per-micro-protocol counters (only protocols that counted anything).

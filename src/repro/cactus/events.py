@@ -21,12 +21,38 @@ Semantics (from the paper, sections 2.3.1 and 3.1):
 Causal tracing: when enabled on the composite, every ``raise`` records an
 edge from the event whose handler performed the raise — the data behind the
 Figure 3 reproduction.
+
+Dispatch executors
+------------------
+
+Every event carries two executors with identical observable semantics:
+
+- the **reference executor** is the paper-shaped interpretation loop: take
+  the binding lock, copy the binding list, run handlers one by one;
+- the **compiled executor** is the fast path (mirroring the
+  ``SignaturePlan`` idea from the marshalling layer): ``bind``/``unbind``
+  bump a version and invalidate a copy-on-write *snapshot*; the raise path
+  reads an immutable pre-compiled handler chain — a flat tuple of
+  ``(binding, handler, order, static_args)`` — with **no lock and no list
+  copy**, enters the causality stack once per raise instead of once per
+  handler, and recycles :class:`Occurrence` objects through a per-thread
+  freelist when the raise provably did not leak them.
+
+The compiled path is the default; set ``CQOS_COMPILED_DISPATCH=0`` to fall
+back to the reference executor everywhere (the escape hatch), or pass
+``compiled_dispatch=`` to a composite to pick per instance.  The
+differential suite (tests/unit/test_dispatch_fastpath.py) drives randomized
+binding sets through both executors and requires identical handler
+sequences and trace edges.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
 import threading
+from bisect import insort
+from sys import getrefcount
 from typing import TYPE_CHECKING, Callable
 
 from repro.util.errors import ConfigurationError
@@ -41,6 +67,17 @@ ORDER_LATE = 75
 ORDER_LAST = 100
 
 Handler = Callable[..., None]
+
+#: Environment escape hatch: ``0``/``false``/``no``/``off`` disables the
+#: compiled executor for every composite that does not pick explicitly.
+COMPILED_DISPATCH_ENV = "CQOS_COMPILED_DISPATCH"
+
+
+def compiled_dispatch_default() -> bool:
+    """Whether new composites use the compiled executor (env-controlled)."""
+    value = os.environ.get(COMPILED_DISPATCH_ENV, "1").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
 
 # Thread-local stack of (composite, event name) currently being handled,
 # for causality tracing.  Scoped per composite: with an in-process network
@@ -69,8 +106,26 @@ def current_event(composite: object | None = None) -> str | None:
     return name if owner is composite else None
 
 
+# Per-thread Occurrence freelist.  An occurrence is recycled only when the
+# refcount proves the raise did not leak it (see Event._raise_blocking), so
+# a handler that stashes its occurrence keeps a stable, truthful object.
+_occ_pool_local = threading.local()
+
+_OCC_POOL_LIMIT = 64
+
+
+def _occ_pool() -> list["Occurrence"]:
+    pool = getattr(_occ_pool_local, "pool", None)
+    if pool is None:
+        pool = []
+        _occ_pool_local.pool = pool
+    return pool
+
+
 class Binding:
     """One handler attached to one event."""
+
+    __slots__ = ("event", "handler", "order", "static_args", "id", "_active")
 
     _ids = itertools.count(1)
 
@@ -87,7 +142,11 @@ class Binding:
         return self._active
 
     def unbind(self) -> None:
-        """Detach this handler from the event.  Idempotent."""
+        """Detach this handler from the event.  Idempotent.
+
+        Takes effect immediately, including for raises already in flight:
+        both executors re-check ``active`` before each activation.
+        """
         if self._active:
             self._active = False
             self.event._remove(self)
@@ -97,14 +156,27 @@ class Binding:
         return f"Binding({self.event.name}, {name}, order={self.order})"
 
 
+def _binding_sort_key(binding: Binding) -> tuple[int, int]:
+    return (binding.order, binding.id)
+
+
 class Occurrence:
-    """One raise of an event: the object handlers receive first."""
+    """One raise of an event: the object handlers receive first.
+
+    Halt state is *truthful*: :attr:`halted` / :attr:`halted_all` report
+    whether any handler of this raise called :meth:`halt` /
+    :meth:`halt_all`, and stay set after the raise completes.  The
+    executors track their chaining decisions in executor-local variables
+    instead of mutating this public state back and forth.
+    """
+
+    __slots__ = ("event", "args", "parent_event", "_halt", "_halt_all")
 
     def __init__(self, event: "Event", args: tuple, parent_event: str | None):
         self.event = event
         self.args = args
         self.parent_event = parent_event
-        self._halt_order: int | None = None
+        self._halt = False
         self._halt_all = False
 
     @property
@@ -113,36 +185,106 @@ class Occurrence:
 
     def halt(self) -> None:
         """Skip handlers bound with a strictly greater order (override)."""
-        self._halt_all = True  # refined per-handler in _execute
+        self._halt = True
 
     def halt_all(self) -> None:
         """Skip every remaining handler, including same-order peers."""
+        self._halt = True
         self._halt_all = True
-        self._halt_order = -1
+
+    @property
+    def halted(self) -> bool:
+        """True once any handler of this raise called ``halt`` (or ``halt_all``)."""
+        return self._halt
+
+    @property
+    def halted_all(self) -> bool:
+        """True once any handler of this raise called ``halt_all``."""
+        return self._halt_all
 
 
 class Event:
-    """A named event owned by a composite protocol."""
+    """A named event owned by a composite protocol.
 
-    def __init__(self, composite: "CompositeProtocol", name: str):
+    Mutation (``bind``/``unbind``) happens under ``_lock`` on the sorted
+    ``_bindings`` list and *invalidates* the compiled snapshot by bumping
+    ``_version`` and setting ``_dirty``.  The snapshot — an immutable
+    ``(binding, handler, order, static_args)`` tuple — is rebuilt lazily on
+    the next raise (or introspection), under the same lock.  Raises
+    therefore observe a consistent point-in-time binding set without taking
+    the lock or copying a list, and a configure()-time burst of N binds
+    compiles the chain once, not N times.
+    """
+
+    def __init__(self, composite: "CompositeProtocol", name: str, compiled: bool | None = None):
         self.composite = composite
         self.name = name
         self._lock = threading.Lock()
-        self._bindings: list[Binding] = []
+        self._bindings: list[Binding] = []  # kept sorted by (order, id)
+        self._version = 0
+        self._dirty = False
+        self._chain: tuple[tuple[Binding, Handler, int, tuple], ...] = ()
+        # Shared, pre-allocated causality-stack entry for every raise.
+        self._stack_entry = (composite, name)
+        #: Raises since creation (or the last stats reset).  Maintained
+        #: without a lock: exact for the causally-serial flows experiments
+        #: assert on, best-effort under truly concurrent raises.
+        self.raise_count = 0
+        if compiled is None:
+            compiled = compiled_dispatch_default()
+        self._compiled = bool(compiled)
+        # Bound once so the dispatch branch costs nothing per raise.
+        if self._compiled:
+            self._execute = self._execute_compiled
+            self._raise_blocking = self._raise_blocking_compiled
+        else:
+            self._execute = self._execute_reference
+            # No pooling on the reference path; the returned occurrence is
+            # simply dropped by the blocking raise.
+            self._raise_blocking = self._execute_reference
+
+    @property
+    def compiled(self) -> bool:
+        """Whether this event dispatches through the compiled executor."""
+        return self._compiled
+
+    @property
+    def version(self) -> int:
+        """Monotonic binding-set version (bumped by every bind/unbind)."""
+        with self._lock:
+            return self._version
 
     def bind(self, handler: Handler, order: int = ORDER_DEFAULT, static_args: tuple = ()) -> Binding:
         """Attach ``handler``; it runs on every raise as
         ``handler(occurrence, *static_args)``."""
         binding = Binding(self, handler, order, tuple(static_args))
         with self._lock:
-            self._bindings.append(binding)
-            self._bindings.sort(key=lambda b: (b.order, b.id))
+            # Ids are monotonic, so insort lands a new binding after its
+            # same-order peers: O(n) insert, no full re-sort per bind.
+            insort(self._bindings, binding, key=_binding_sort_key)
+            self._invalidate_locked()
         return binding
 
     def _remove(self, binding: Binding) -> None:
         with self._lock:
             if binding in self._bindings:
                 self._bindings.remove(binding)
+                self._invalidate_locked()
+
+    def _invalidate_locked(self) -> None:
+        self._version += 1
+        self._dirty = True
+
+    def _refresh_chain(self) -> tuple[tuple[Binding, Handler, int, tuple], ...]:
+        """Rebuild the compiled chain from the current binding list."""
+        with self._lock:
+            if self._dirty:
+                chain = tuple(
+                    (b, b.handler, b.order, b.static_args) for b in self._bindings
+                )
+                self._chain = chain
+                self._dirty = False
+            return self._chain
 
     def bindings(self) -> list[Binding]:
         with self._lock:
@@ -152,32 +294,172 @@ class Event:
         with self._lock:
             return len(self._bindings)
 
-    def _execute(self, args: tuple, parent_event: str | None) -> Occurrence:
-        """Run all handlers in order; honours halt semantics.
+    # -- executors -------------------------------------------------------
+
+    def _execute_reference(
+        self,
+        args: tuple,
+        parent_event: str | None,
+        stack: list | None = None,
+    ) -> Occurrence:
+        """The interpretation loop, preserved as the seed implementation
+        shipped it: per-raise lock + binding-list copy, per-handler
+        causality push/pop.  (Only the halt-state handling differs: the
+        executor tracks chaining decisions locally so the occurrence's
+        public state stays truthful.)
 
         Returns the occurrence so callers can inspect halt state.
         """
         occurrence = Occurrence(self, args, parent_event)
         snapshot = self.bindings()
-        stack = _handling_stack()
+        if stack is None:
+            stack = _handling_stack()
         halted_after: int | None = None  # order threshold set by halt()
         for binding in snapshot:
             if not binding.active:
                 continue
-            if occurrence._halt_order == -1:
-                break  # halt_all
             if halted_after is not None and binding.order > halted_after:
                 break
             stack.append((self.composite, self.name))
             try:
-                occurrence._halt_all = False
                 binding.handler(occurrence, *binding.static_args)
-                if occurrence._halt_all and occurrence._halt_order != -1:
-                    # halt(): let same-order peers run, stop later orders.
-                    halted_after = binding.order
             finally:
                 stack.pop()
+            if occurrence._halt_all:
+                break  # halt_all(): nothing else runs, not even peers
+            if occurrence._halt and halted_after is None:
+                # halt(): let same-order peers run, stop later orders.
+                halted_after = binding.order
         return occurrence
+
+    def _execute_compiled(
+        self,
+        args: tuple,
+        parent_event: str | None,
+        stack: list | None = None,
+    ) -> Occurrence:
+        """The fast path: immutable chain, no lock, one stack entry."""
+        chain = self._chain
+        if self._dirty:
+            chain = self._refresh_chain()
+        pool = getattr(_occ_pool_local, "pool", None)
+        if pool is None:
+            pool = _occ_pool()
+        if pool:
+            occurrence = pool.pop()
+            occurrence.event = self
+            occurrence.args = args
+            occurrence.parent_event = parent_event
+            occurrence._halt = False
+            occurrence._halt_all = False
+        else:
+            occurrence = Occurrence(self, args, parent_event)
+        if not chain:
+            return occurrence
+        if stack is None:
+            stack = _handling_stack()
+        stack.append(self._stack_entry)
+        entries = iter(chain)
+        try:
+            for binding, handler, order, static_args in entries:
+                if not binding._active:
+                    continue
+                if static_args:
+                    handler(occurrence, *static_args)
+                else:
+                    handler(occurrence)
+                if occurrence._halt:  # halt_all implies halt: one read
+                    if occurrence._halt_all:
+                        break
+                    # halt(): finish same-order peers, skip the rest.
+                    # Only the first halt sets the threshold, so later
+                    # halt() calls in the tail are no-ops (as before).
+                    threshold = order
+                    for binding, handler, order, static_args in entries:
+                        if order > threshold:
+                            break
+                        if not binding._active:
+                            continue
+                        if static_args:
+                            handler(occurrence, *static_args)
+                        else:
+                            handler(occurrence)
+                        if occurrence._halt_all:
+                            break
+                    break
+        finally:
+            stack.pop()
+        return occurrence
+
+    def _raise_blocking_compiled(
+        self,
+        args: tuple,
+        parent_event: str | None,
+        stack: list | None = None,
+    ) -> None:
+        """Blocking raise on the fast path: execute, then recycle if safe.
+
+        The executor body is intentionally inlined from
+        :meth:`_execute_compiled` (one call frame per raise matters at this
+        altitude; keep the two in lockstep).  Recycling is refcount-gated:
+        exactly two references (the local below plus ``getrefcount``'s
+        argument) prove no handler kept the occurrence, so reuse cannot
+        mutate state anyone can still observe.
+        """
+        chain = self._chain
+        if self._dirty:
+            chain = self._refresh_chain()
+        pool = getattr(_occ_pool_local, "pool", None)
+        if pool is None:
+            pool = _occ_pool()
+        if pool:
+            occurrence = pool.pop()
+            occurrence.event = self
+            occurrence.args = args
+            occurrence.parent_event = parent_event
+            occurrence._halt = False
+            occurrence._halt_all = False
+        else:
+            occurrence = Occurrence(self, args, parent_event)
+        if chain:
+            if stack is None:
+                stack = _handling_stack()
+            stack.append(self._stack_entry)
+            entries = iter(chain)
+            try:
+                for binding, handler, order, static_args in entries:
+                    if not binding._active:
+                        continue
+                    if static_args:
+                        handler(occurrence, *static_args)
+                    else:
+                        handler(occurrence)
+                    if occurrence._halt:  # halt_all implies halt: one read
+                        if occurrence._halt_all:
+                            break
+                        # halt(): finish same-order peers, skip the rest.
+                        # Only the first halt sets the threshold, so later
+                        # halt() calls in the tail are no-ops (as before).
+                        threshold = order
+                        for binding, handler, order, static_args in entries:
+                            if order > threshold:
+                                break
+                            if not binding._active:
+                                continue
+                            if static_args:
+                                handler(occurrence, *static_args)
+                            else:
+                                handler(occurrence)
+                            if occurrence._halt_all:
+                                break
+                        break
+            finally:
+                stack.pop()
+        if getrefcount(occurrence) == 2 and len(pool) < _OCC_POOL_LIMIT:
+            occurrence.event = None  # type: ignore[assignment] - parked
+            occurrence.args = ()
+            occurrence.parent_event = None
+            pool.append(occurrence)
 
     def __repr__(self) -> str:
         return f"Event({self.name}, handlers={self.handler_count()})"

@@ -18,7 +18,11 @@ import threading
 from typing import Callable
 
 from repro.util.clock import Clock, RealClock
-from repro.util.concurrency import PriorityExecutor, ResultFuture
+from repro.util.concurrency import (
+    PriorityExecutor,
+    ResultFuture,
+    current_thread_priority,
+)
 
 
 class _TimerWheel:
@@ -146,8 +150,6 @@ class CactusRuntime:
         """
         future = ResultFuture()
         if priority is None:
-            from repro.util.concurrency import current_thread_priority
-
             priority = current_thread_priority()
 
         def execute() -> None:

@@ -41,8 +41,9 @@ class CactusClient(CompositeProtocol):
         name: str = "cactus-client",
         runtime: CactusRuntime | None = None,
         request_timeout: float | None = 30.0,
+        compiled_dispatch: bool | None = None,
     ):
-        super().__init__(name, runtime=runtime)
+        super().__init__(name, runtime=runtime, compiled_dispatch=compiled_dispatch)
         self.platform = platform
         self.request_timeout = request_timeout
         self.shared.set(SHARED_PLATFORM, platform)

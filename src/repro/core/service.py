@@ -102,6 +102,7 @@ class CqosDeployment:
         platform: str,
         compiled: CompiledIdl,
         request_timeout: float | None = 30.0,
+        compiled_dispatch: bool | None = None,
     ):
         if platform not in self.PLATFORMS:
             raise ConfigurationError(
@@ -111,6 +112,9 @@ class CqosDeployment:
         self.platform = platform
         self.compiled = compiled
         self.request_timeout = request_timeout
+        # Event-dispatch executor for every Cactus composite this deployment
+        # creates; None defers to the CQOS_COMPILED_DISPATCH escape hatch.
+        self.compiled_dispatch = compiled_dispatch
         self._ids = IdGenerator("dep")
         self._lock = threading.Lock()
         self._orbs: list[Orb] = []
@@ -261,6 +265,7 @@ class CqosDeployment:
                     name=f"cactus-server-{object_id}-{replica}",
                     request_timeout=self.request_timeout,
                     priority_policy=priority_policy,
+                    compiled_dispatch=self.compiled_dispatch,
                 )
             else:
                 extra = _instantiate(config) or []
@@ -270,6 +275,7 @@ class CqosDeployment:
                     name=f"cactus-server-{object_id}-{replica}",
                     request_timeout=self.request_timeout,
                     priority_policy=priority_policy,
+                    compiled_dispatch=self.compiled_dispatch,
                 )
             self._track(server)
             return server
@@ -366,6 +372,7 @@ class CqosDeployment:
                     name=f"cactus-client-{host}",
                     request_timeout=self.request_timeout,
                     runtime=runtime,
+                    compiled_dispatch=self.compiled_dispatch,
                 )
             else:
                 extra = _instantiate(client_micro_protocols) or []
@@ -375,6 +382,7 @@ class CqosDeployment:
                     name=f"cactus-client-{host}",
                     request_timeout=self.request_timeout,
                     runtime=runtime,
+                    compiled_dispatch=self.compiled_dispatch,
                 )
             self._track(cactus_client)
         stub_class = make_cqos_stub_class(interface)

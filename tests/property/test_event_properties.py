@@ -1,17 +1,25 @@
-"""Property-based tests for Cactus event-execution invariants."""
+"""Property-based tests for Cactus event-execution invariants.
 
+Every invariant is checked against both dispatch executors (the compiled
+fast path and the reference interpretation loop) — they must agree.
+"""
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cactus.composite import CompositeProtocol
 
 orders = st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=12)
 
+both_executors = pytest.mark.parametrize("compiled", [True, False], ids=["compiled", "reference"])
 
+
+@both_executors
 @given(orders)
 @settings(max_examples=100, deadline=None)
-def test_handlers_execute_in_nondecreasing_order(order_values):
+def test_handlers_execute_in_nondecreasing_order(compiled, order_values):
     """Whatever the bind sequence, execution order is sorted by order."""
-    composite = CompositeProtocol("prop")
+    composite = CompositeProtocol("prop", compiled_dispatch=compiled)
     executed = []
     for order in order_values:
         composite.bind(
@@ -22,11 +30,12 @@ def test_handlers_execute_in_nondecreasing_order(order_values):
     composite.runtime.shutdown()
 
 
+@both_executors
 @given(orders, st.integers(min_value=0, max_value=100))
 @settings(max_examples=100, deadline=None)
-def test_halt_suppresses_exactly_later_orders(order_values, halt_at):
+def test_halt_suppresses_exactly_later_orders(compiled, order_values, halt_at):
     """A halting handler at order H runs peers at H, suppresses > H."""
-    composite = CompositeProtocol("prop")
+    composite = CompositeProtocol("prop", compiled_dispatch=compiled)
     executed = []
 
     def halting(occ):
@@ -46,10 +55,11 @@ def test_halt_suppresses_exactly_later_orders(order_values, halt_at):
     composite.runtime.shutdown()
 
 
+@both_executors
 @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=6))
 @settings(max_examples=50, deadline=None)
-def test_unbinding_removes_exactly_that_binding(names):
-    composite = CompositeProtocol("prop")
+def test_unbinding_removes_exactly_that_binding(compiled, names):
+    composite = CompositeProtocol("prop", compiled_dispatch=compiled)
     executed = []
     bindings = [
         composite.bind("ev", lambda occ, n=n: executed.append(n)) for n in names
@@ -60,12 +70,13 @@ def test_unbinding_removes_exactly_that_binding(names):
     composite.runtime.shutdown()
 
 
+@both_executors
 @given(st.integers(min_value=1, max_value=8))
 @settings(max_examples=30, deadline=None)
-def test_one_activation_per_binding_per_raise(bind_count):
+def test_one_activation_per_binding_per_raise(compiled, bind_count):
     """N bindings of the same handler run exactly N times per raise —
     the mechanism ActiveRep uses for per-replica activations."""
-    composite = CompositeProtocol("prop")
+    composite = CompositeProtocol("prop", compiled_dispatch=compiled)
     activations = []
 
     def handler(occ, replica):

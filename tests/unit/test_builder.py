@@ -124,3 +124,53 @@ class TestBuilderEndToEnd:
             assert stub.get_balance() == 3.0
         finally:
             deployment.close()
+
+
+class TestDispatchPlanCache:
+    def setup_method(self):
+        from repro.qos.builder import clear_dispatch_plan_cache
+
+        clear_dispatch_plan_cache()
+
+    def test_identical_combinations_share_one_sealed_spec(self):
+        from repro.qos.builder import dispatch_plan_cache_stats
+
+        first = QosBuilder().fault_tolerance("active", acceptance="vote").build()
+        second = QosBuilder().fault_tolerance("active", acceptance="vote").build()
+        assert first is second
+        stats = dispatch_plan_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1 and stats["size"] == 1
+
+    def test_different_combinations_get_different_plans(self):
+        active = QosBuilder().fault_tolerance("active").build()
+        passive = QosBuilder().fault_tolerance("passive").build()
+        assert active is not passive
+        assert active.fingerprint() != passive.fingerprint()
+
+    def test_cached_spec_still_yields_fresh_instances(self):
+        spec = QosBuilder().fault_tolerance("active", acceptance="vote").build()
+        again = QosBuilder().fault_tolerance("active", acceptance="vote").build()
+        assert spec is again
+        first = spec.client_factory()()
+        second = spec.client_factory()()
+        assert [type(p) for p in first] == [type(p) for p in second]
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_cache_can_be_bypassed(self):
+        cached = QosBuilder().fault_tolerance("passive").build()
+        fresh = QosBuilder().fault_tolerance("passive").build(use_cache=False)
+        assert fresh is not cached
+        assert fresh.fingerprint() == cached.fingerprint()
+
+    def test_unhashable_params_are_fingerprintable(self):
+        spec = (
+            QosBuilder()
+            .access_control(acl={"set_balance": ["boss"]}, default_allow=False)
+            .build()
+        )
+        again = (
+            QosBuilder()
+            .access_control(acl={"set_balance": ["boss"]}, default_allow=False)
+            .build()
+        )
+        assert spec is again

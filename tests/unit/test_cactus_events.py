@@ -15,9 +15,10 @@ from repro.util.concurrency import (
 from repro.util.errors import ConfigurationError
 
 
-@pytest.fixture
-def composite():
-    comp = CompositeProtocol("test")
+@pytest.fixture(params=["compiled", "reference"])
+def composite(request):
+    """Every test in this module runs against both dispatch executors."""
+    comp = CompositeProtocol("test", compiled_dispatch=(request.param == "compiled"))
     yield comp
     comp.shutdown()
     comp.runtime.shutdown()
@@ -169,6 +170,66 @@ class TestRaiseModes:
         composite.bind("ev", lambda occ: seen.append(threading.current_thread()))
         composite.raise_event("ev")
         assert seen == [threading.current_thread()]
+
+
+class TestHaltState:
+    """The occurrence's public halt state stays truthful after the raise."""
+
+    def test_halt_state_visible_after_raise(self, composite):
+        composite.bind("ev", lambda occ: occ.halt(), order=10)
+        composite.bind("ev", lambda occ: None, order=20)
+        occurrence = composite.event("ev")._execute((), None)
+        assert occurrence.halted
+        assert not occurrence.halted_all
+
+    def test_halt_all_state_visible_after_raise(self, composite):
+        composite.bind("ev", lambda occ: occ.halt_all(), order=10)
+        occurrence = composite.event("ev")._execute((), None)
+        assert occurrence.halted
+        assert occurrence.halted_all
+
+    def test_unhalted_raise_reports_clean_state(self, composite):
+        composite.bind("ev", lambda occ: None)
+        occurrence = composite.event("ev")._execute((), None)
+        assert not occurrence.halted
+        assert not occurrence.halted_all
+
+    def test_state_not_cleared_by_later_handlers(self, composite):
+        # The executor used to reset halt flags before each handler; the
+        # non-halting same-order peer must not wipe the first peer's halt.
+        composite.bind("ev", lambda occ: occ.halt(), order=10)
+        composite.bind("ev", lambda occ: None, order=10)
+        occurrence = composite.event("ev")._execute((), None)
+        assert occurrence.halted
+
+
+class TestSnapshotVersioning:
+    def test_bind_and_unbind_bump_version(self, composite):
+        event = composite.event("ev")
+        v0 = event.version
+        binding = event.bind(lambda occ: None)
+        assert event.version == v0 + 1
+        binding.unbind()
+        assert event.version == v0 + 2
+
+    def test_raise_does_not_bump_version(self, composite):
+        event = composite.event("ev")
+        event.bind(lambda occ: None)
+        version = event.version
+        composite.raise_event("ev")
+        composite.raise_event("ev")
+        assert event.version == version
+
+    def test_bindings_listing_matches_execution_order(self, composite):
+        event = composite.event("ev")
+        event.bind(lambda occ: None, order=ORDER_LAST)
+        event.bind(lambda occ: None, order=ORDER_FIRST)
+        event.bind(lambda occ: None, order=ORDER_DEFAULT)
+        assert [b.order for b in event.bindings()] == [
+            ORDER_FIRST,
+            ORDER_DEFAULT,
+            ORDER_LAST,
+        ]
 
 
 class TestTracing:
