@@ -1,0 +1,428 @@
+"""Overload-surge benchmark: the composed protection stack under 10x load.
+
+Scenario: a bank object whose servant serializes on an internal resource
+(the classic single-threaded backend), replicated twice.  Three phases:
+
+1. **capacity** — closed-loop clients at sustainable concurrency measure
+   peak goodput (successes delivered within the SLO budget per second);
+2. **surge** — an open-loop arrival process at 10x the measured peak
+   against the *protected* deployment: client side DeadlineBudget +
+   RetryBackoff + ClientCache (stale-while-shedding) + LoadBalance, server
+   side DeadlineShed + AdmissionControl + CacheInvalidator + LoadReporter;
+3. **baseline** — the same 10x arrival schedule against a bare deployment
+   (no stack): requests queue behind the serialized servant, every reply
+   comes back seconds late, and in-budget goodput collapses.
+
+The full run also fires a **spike**: one million arrivals enqueued at a
+single instant; clients that cannot fire an arrival within its budget give
+up locally (open-loop callers stop waiting), so the gate is that the stack
+keeps serving in-deadline work and stays available afterwards.
+
+Gates (CI exit status):
+
+- surge goodput >= 80% of measured peak goodput;
+- ZERO replies served past their PB_DEADLINE across every protected phase,
+  audited inside the stack at delivery time (:class:`DeadlineAuditor`) —
+  a late reply served to the caller is a stack bug, not a statistic;
+- (full run) the object answers again after the million-arrival spike.
+
+The separately reported ``over_budget_observed`` counts client wall-clock
+observations beyond BUDGET + GRACE; those include scheduler descheduling
+outside the stack and are observability, not a gate.
+
+Results go to ``BENCH_PR6.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/surge.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface  # noqa: E402
+from repro.cactus.composite import MicroProtocol  # noqa: E402
+from repro.cactus.events import ORDER_LAST, Occurrence  # noqa: E402
+from repro.core.events import EV_INVOKE_SUCCESS  # noqa: E402
+from repro.core.service import CqosDeployment  # noqa: E402
+from repro.net.memory import InMemoryNetwork  # noqa: E402
+from repro.qos import DeadlineBudget, RetryBackoff  # noqa: E402
+from repro.qos.extensions import (  # noqa: E402
+    AdmissionControl,
+    AdmissionRejectedError,
+    CacheInvalidator,
+    ClientCache,
+    LoadBalance,
+    LoadReporter,
+)
+from repro.util.errors import DeadlineExceededError  # noqa: E402
+
+#: Per-request SLO budget (seconds); PB_DEADLINE = arrival + BUDGET.
+BUDGET = 0.25
+#: Measurement grace on the client-observed elapsed time: the stopwatch
+#: starts slightly before DeadlineBudget stamps the deadline.
+GRACE = 0.05
+#: Serialized servant service time (seconds) — the capacity bottleneck.
+SERVICE_TIME = 0.005
+WRITE_RATIO = 0.15
+REPLICAS = 2
+CLIENT_STUBS = 8
+
+READS = ("get_balance", "owner", "history")
+INVALIDATES = {
+    "deposit": ["get_balance"],
+    "withdraw": ["get_balance"],
+    "set_balance": ["get_balance"],
+}
+
+
+class DeadlineAuditor(MicroProtocol):
+    """Counts replies *served* past their PB_DEADLINE, judged at delivery
+    time on the runtime clock — the exact invariant the stack must hold.
+
+    Bound LAST on ``invokeSuccess``: ``DeadlineBudget.reject_late`` (FIRST)
+    halts expired replies, so anything the auditor still sees is being
+    delivered to the caller.  This is the gate; the client-observed wall
+    time in :func:`fire_one` additionally includes scheduler descheduling
+    *outside* the stack (stopwatch start -> deadline stamp, delivery ->
+    stopwatch stop), which is observability, not a stack property.
+    """
+
+    name = "DeadlineAuditor"
+
+    def start(self) -> None:
+        self.bind(EV_INVOKE_SUCCESS, self.audit, order=ORDER_LAST)
+
+    def audit(self, occurrence: Occurrence) -> None:
+        request = occurrence.args[0]
+        if request.deadline is not None and request.deadline_expired(
+            self.composite.runtime.clock.now()
+        ):
+            self.incr("late_served")
+
+
+class SerializedAccount(BankAccount):
+    """A bank account whose backend admits one operation at a time."""
+
+    def __init__(self):
+        super().__init__()
+        self._backend = threading.Lock()
+
+    def _hit_backend(self):
+        with self._backend:
+            time.sleep(SERVICE_TIME)
+
+    def get_balance(self):
+        self._hit_backend()
+        return super().get_balance()
+
+    def deposit(self, amount):
+        self._hit_backend()
+        return super().deposit(amount)
+
+
+class WorkerStats:
+    """Per-worker counters (no locks; summed after the phase)."""
+
+    __slots__ = (
+        "successes", "over_budget_observed", "deadline_sheds",
+        "admission_sheds", "gave_up", "errors",
+    )
+
+    def __init__(self):
+        self.successes = 0
+        self.over_budget_observed = 0
+        self.deadline_sheds = 0
+        self.admission_sheds = 0
+        self.gave_up = 0
+        self.errors = 0
+
+
+def fire_one(stub, op: str, stats: WorkerStats) -> None:
+    start = time.monotonic()
+    try:
+        if op == "deposit":
+            stub.deposit(1.0)
+        else:
+            stub.get_balance()
+    except DeadlineExceededError:
+        stats.deadline_sheds += 1
+        return
+    except AdmissionRejectedError:
+        stats.admission_sheds += 1
+        return
+    except Exception:
+        stats.errors += 1
+        return
+    if time.monotonic() - start > BUDGET + GRACE:
+        stats.over_budget_observed += 1
+    else:
+        stats.successes += 1
+
+
+def pick_op(counter: int) -> str:
+    # Deterministic 85/15 read/write mix (no RNG: reproducible schedules).
+    return "deposit" if counter % 100 < int(WRITE_RATIO * 100) else "get_balance"
+
+
+def closed_loop_phase(stubs, workers: int, duration: float) -> dict:
+    """Sustainable-concurrency closed loop: measures peak goodput."""
+    stop = threading.Event()
+    all_stats = [WorkerStats() for _ in range(workers)]
+
+    def worker(idx: int) -> None:
+        stub = stubs[idx % len(stubs)]
+        stats = all_stats[idx]
+        counter = idx * 7
+        while not stop.is_set():
+            fire_one(stub, pick_op(counter), stats)
+            counter += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(workers)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join(30.0)
+    elapsed = time.monotonic() - start
+    return summarize(all_stats, elapsed, offered=None)
+
+
+def open_loop_phase(
+    stubs, workers: int, rate: float, duration: float, burst: int = 0
+) -> dict:
+    """Open-loop arrivals at ``rate``/s for ``duration`` seconds (plus an
+    optional instantaneous ``burst``).  A worker that pops an arrival whose
+    budget already expired while queued gives up locally — open-loop
+    callers stop waiting — so backlog never masquerades as served load."""
+    arrivals: queue.Queue = queue.Queue()
+    all_stats = [WorkerStats() for _ in range(workers)]
+    start = time.monotonic()
+    count = int(rate * duration)
+    for i in range(count):
+        arrivals.put(start + i / rate)
+    now = time.monotonic()
+    for _ in range(burst):
+        arrivals.put(now)
+    offered = count + burst
+
+    def worker(idx: int) -> None:
+        stub = stubs[idx % len(stubs)]
+        stats = all_stats[idx]
+        counter = idx * 13
+        while True:
+            try:
+                arrival = arrivals.get_nowait()
+            except queue.Empty:
+                return
+            wait = arrival - time.monotonic()
+            if wait > 0:
+                time.sleep(wait)
+            elif -wait > BUDGET:
+                stats.gave_up += 1  # queued past its budget: caller is gone
+                continue
+            fire_one(stub, pick_op(counter), stats)
+            counter += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120.0)
+    elapsed = time.monotonic() - start
+    return summarize(all_stats, elapsed, offered=offered)
+
+
+def summarize(all_stats: list[WorkerStats], elapsed: float, offered) -> dict:
+    total = WorkerStats()
+    for stats in all_stats:
+        for field in WorkerStats.__slots__:
+            setattr(total, field, getattr(total, field) + getattr(stats, field))
+    report = {field: getattr(total, field) for field in WorkerStats.__slots__}
+    report["elapsed_s"] = round(elapsed, 3)
+    report["goodput_rps"] = round(total.successes / elapsed, 1) if elapsed else 0.0
+    if offered is not None:
+        report["offered"] = offered
+    return report
+
+
+def build_protected(deployment: CqosDeployment):
+    auditors = [DeadlineAuditor() for _ in range(CLIENT_STUBS)]
+    deployment.add_replicas(
+        "acct",
+        SerializedAccount,
+        bank_interface(),
+        replicas=REPLICAS,
+        server_micro_protocols=lambda: [
+            AdmissionControl(
+                max_concurrent=8,
+                max_queue_depth=64,
+                deadline_aware=True,
+                exempt_high_priority=False,
+            ),
+            CacheInvalidator(read_operations=list(READS), invalidates=INVALIDATES),
+            LoadReporter(),
+        ],
+    )
+    stubs = [
+        deployment.client_stub(
+            "acct",
+            bank_interface(),
+            client_micro_protocols=lambda auditor=auditor: [
+                DeadlineBudget(budget=BUDGET),
+                RetryBackoff(max_attempts=2, base_delay=0.01, max_delay=0.1, seed=11),
+                ClientCache(
+                    read_operations=["get_balance"],
+                    ttl=0.05,
+                    stale_while_shedding=True,
+                ),
+                LoadBalance(poll_interval=0.5, seed=11),
+                auditor,
+            ],
+        )
+        for auditor in auditors
+    ]
+    return stubs, auditors
+
+
+def build_baseline(deployment: CqosDeployment):
+    deployment.add_replicas(
+        "acct", SerializedAccount, bank_interface(), replicas=REPLICAS
+    )
+    return [
+        deployment.client_stub("acct", bank_interface())
+        for _ in range(CLIENT_STUBS)
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="scaled-down durations (CI)"
+    )
+    parser.add_argument("--out", default="BENCH_PR6.json")
+    options = parser.parse_args(argv)
+
+    if options.smoke:
+        capacity_s, surge_s, baseline_s = 1.0, 1.5, 1.2
+        peak_workers, surge_workers = 8, 48
+        spike_burst = 0
+    else:
+        capacity_s, surge_s, baseline_s = 3.0, 8.0, 5.0
+        peak_workers, surge_workers = 8, 160
+        spike_burst = 1_000_000
+
+    report: dict = {
+        "benchmark": "overload-surge",
+        "budget_s": BUDGET,
+        "service_time_s": SERVICE_TIME,
+        "replicas": REPLICAS,
+        "write_ratio": WRITE_RATIO,
+        "smoke": options.smoke,
+    }
+
+    # -- protected deployment: capacity, surge, spike ----------------------
+    network = InMemoryNetwork()
+    deployment = CqosDeployment(
+        network, platform="rmi", compiled=bank_compiled(), request_timeout=30.0
+    )
+    try:
+        stubs, auditors = build_protected(deployment)
+        stubs[0].set_balance(0.0)  # warm bindings
+        print("capacity phase (closed loop)...", flush=True)
+        peak = closed_loop_phase(stubs, peak_workers, capacity_s)
+        report["peak"] = peak
+        surge_rate = 10.0 * max(peak["goodput_rps"], 1.0)
+        report["surge_rate_rps"] = round(surge_rate, 1)
+        print(f"surge phase (open loop @ {surge_rate:.0f}/s)...", flush=True)
+        surge = open_loop_phase(stubs, surge_workers, surge_rate, surge_s)
+        report["surge"] = surge
+        if spike_burst:
+            print(f"spike phase ({spike_burst} instantaneous arrivals)...",
+                  flush=True)
+            spike = open_loop_phase(
+                stubs, surge_workers, rate=1.0, duration=0.0, burst=spike_burst
+            )
+            report["spike"] = spike
+            # Availability probe: the object answers again after the spike.
+            # The stack is *expected* to shed for a moment while the inflated
+            # service-time EWMA decays back down (congestion-probe decay in
+            # AdmissionControl); we measure how long recovery takes.
+            available = False
+            probe_start = time.monotonic()
+            while time.monotonic() - probe_start < 10.0:
+                try:
+                    available = stubs[0].owner() == "alice"
+                    break
+                except (AdmissionRejectedError, DeadlineExceededError):
+                    time.sleep(0.05)
+            report["post_spike_available"] = available
+            report["post_spike_recovery_s"] = round(
+                time.monotonic() - probe_start, 3
+            )
+        # The stack invariant, judged at delivery time on the shared clock:
+        # replies served to a caller after their PB_DEADLINE, all phases.
+        report["late_served"] = sum(
+            auditor.stats().get("late_served", 0) for auditor in auditors
+        )
+    finally:
+        deployment.close()
+
+    # -- baseline deployment: the same surge without the stack -------------
+    network = InMemoryNetwork()
+    deployment = CqosDeployment(
+        network, platform="rmi", compiled=bank_compiled(), request_timeout=30.0
+    )
+    try:
+        bare = build_baseline(deployment)
+        bare[0].set_balance(0.0)
+        print("baseline surge (no protection stack)...", flush=True)
+        baseline = open_loop_phase(bare, surge_workers, surge_rate, baseline_s)
+        report["baseline"] = baseline
+    finally:
+        deployment.close()
+
+    # -- gates -------------------------------------------------------------
+    gates = {
+        "surge_goodput_ge_80pct_of_peak": (
+            surge["goodput_rps"] >= 0.8 * peak["goodput_rps"]
+        ),
+        "zero_deadline_violations": report["late_served"] == 0,
+    }
+    if "post_spike_available" in report:
+        gates["available_after_spike"] = bool(report["post_spike_available"])
+    report["gates"] = gates
+    report["baseline_collapsed"] = (
+        baseline["over_budget_observed"] > 0
+        or baseline["goodput_rps"] < 0.5 * surge["goodput_rps"]
+    )
+
+    Path(options.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    failed = [name for name, passed in gates.items() if not passed]
+    if failed:
+        print(f"GATE FAILURES: {failed}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,8 @@ from typing import Any, Callable, Iterable
 from repro.core.interfaces import ClientPlatform, ServerPlatform
 from repro.core.request import (
     PB_ATTEMPT,
+    PB_CACHE_EPOCH,
+    PB_CACHE_INVALIDATE,
     PB_CLIENT_ID,
     PB_DEADLINE,
     PB_ENCRYPTED,
@@ -55,6 +57,7 @@ from repro.core.request import (
 )
 from repro.serialization.jser import jser_dumps, jser_loads
 from repro.util.errors import (
+    AdmissionRejectedError,
     BindError,
     CommunicationError,
     ServerFailedError,
@@ -207,6 +210,42 @@ PIGGYBACK_CODEC.declare(PB_SIGNATURE, "request MAC (integrity protocols)")
 PIGGYBACK_CODEC.declare(PB_FORWARDED, "replica-forwarded duplicate (passive replication)")
 PIGGYBACK_CODEC.declare(PB_DEADLINE, "absolute deadline on the shared monotonic clock")
 PIGGYBACK_CODEC.declare(PB_ATTEMPT, "send-attempt number stamped by retry protocols")
+PIGGYBACK_CODEC.declare(PB_CACHE_EPOCH, "last cache-invalidation epoch seen by the client")
+PIGGYBACK_CODEC.declare(PB_CACHE_INVALIDATE, "reply-direction invalidation delta (epoch, ops)")
+
+
+# -- reply-direction piggyback envelope ---------------------------------------
+#
+# None of the three substrates carries context on the *reply* leg (the GIOP
+# ReplyMessage has no service context; JRMP/HTTP replies are bare values), so
+# reply-direction piggyback rides inside the reply value itself: when a server
+# micro-protocol staged entries in ``Request.reply_piggyback``, the Cactus
+# server wraps the return value in a reserved-key envelope that the client
+# platform strips before completing the request.  Zero cost (no wrapping) for
+# requests with nothing staged, and no wire-format change on any platform.
+
+#: Reserved marker key of the reply envelope (never a legitimate app value).
+REPLY_ENVELOPE_KEY = "__cqos_reply__"
+_REPLY_ENVELOPE_VALUE = "v"
+
+
+def wrap_reply_value(value: Any, reply_piggyback: dict) -> Any:
+    """Envelope ``value`` with reply-direction piggyback (no-op when empty)."""
+    if not reply_piggyback:
+        return value
+    return {REPLY_ENVELOPE_KEY: dict(reply_piggyback), _REPLY_ENVELOPE_VALUE: value}
+
+
+def unwrap_reply_value(value: Any) -> tuple[Any, dict | None]:
+    """Split a reply into ``(value, reply_piggyback | None)``."""
+    if (
+        isinstance(value, dict)
+        and len(value) == 2
+        and REPLY_ENVELOPE_KEY in value
+        and _REPLY_ENVELOPE_VALUE in value
+    ):
+        return value[_REPLY_ENVELOPE_VALUE], dict(value[REPLY_ENVELOPE_KEY])
+    return value, None
 
 
 # -- fault taxonomy -----------------------------------------------------------
@@ -235,6 +274,11 @@ def fault_action(error: BaseException | None) -> str:
     """Classify a platform fault into the binding-layer reaction."""
     if isinstance(error, ServerFailedError):
         return ACTION_MARK_FAILED
+    if isinstance(error, AdmissionRejectedError):
+        # The server actively answered (it is alive and the binding works);
+        # it just refused the work.  Keeping the binding lets the client
+        # retry after the hinted delay without a reconnect.
+        return ACTION_KEEP
     if isinstance(error, CommunicationError):
         # Exactly the is_retryable() class plus the non-retryable local
         # rejections (deadline spent, breaker open); none of them indicate
@@ -462,6 +506,9 @@ class BaseClientPlatform(ClientPlatform):
             self.directory.apply_fault(server, exc)
             notify_observers(self.observers, "on_wire_failure", request, server, exc)
             raise
+        value, reply_piggyback = unwrap_reply_value(value)
+        if reply_piggyback:
+            request.reply_piggyback.update(reply_piggyback)
         notify_observers(self.observers, "on_wire_reply", request, server, value)
         return value
 

@@ -46,6 +46,14 @@ PB_DEADLINE = "cqos_deadline"
 #: Send-attempt number (1 = first try), stamped by the retry micro-protocols
 #: so servers and traces can distinguish retries from first sends.
 PB_ATTEMPT = "cqos_attempt"
+#: The last cache-invalidation epoch a ClientCache has observed, stamped on
+#: requests so the server-side CacheInvalidator can piggyback only the
+#: per-operation invalidations the client has not seen yet (reply direction).
+PB_CACHE_EPOCH = "cqos_cache_epoch"
+#: Reply-direction invalidation delta: ``[epoch, [operation, ...]]`` staged
+#: by CacheInvalidator into ``Request.reply_piggyback``; ``[epoch, None]``
+#: means "too far behind, flush everything".
+PB_CACHE_INVALIDATE = "cqos_cache_invalidate"
 
 
 @dataclass
@@ -85,6 +93,10 @@ class Request:
         self.operation = operation
         self._params = list(params)
         self.piggyback: dict = dict(piggyback or {})
+        #: Reply-direction piggyback: server micro-protocols stage entries
+        #: here; the server composite envelopes them onto the return value
+        #: and the client platform merges them back into its request copy.
+        self.reply_piggyback: dict = {}
         #: Free-form micro-protocol request-local state.
         self.attributes: dict = {}
         #: Replica assigned by the assigner handler (1-based), if any.
@@ -99,6 +111,7 @@ class Request:
         self._exception: BaseException | None = None
         self._completed = False
         self._replies: dict[int, Reply] = {}
+        self._completion_callbacks: list = []
 
     # -- parameter vector accessors (the Cactus QoS interface surface) ------
 
@@ -171,7 +184,9 @@ class Request:
                 return False
             self._result = value
             self._completed = True
+            callbacks, self._completion_callbacks = self._completion_callbacks, []
         self._latch.count_down()
+        self._run_callbacks(callbacks)
         return True
 
     def fail(self, exception: BaseException) -> bool:
@@ -181,8 +196,34 @@ class Request:
                 return False
             self._exception = exception
             self._completed = True
+            callbacks, self._completion_callbacks = self._completion_callbacks, []
         self._latch.count_down()
+        self._run_callbacks(callbacks)
         return True
+
+    def on_complete(self, callback) -> None:
+        """Register ``callback(request)`` to fire exactly once on completion.
+
+        Fires whichever way the request finishes — result, application
+        exception, or fault — which makes it the airtight hook for
+        resource-release bookkeeping (admission slots, in-flight counters):
+        unlike an ``invokeReturn`` binding, it also covers requests that die
+        mid-pipeline from a handler exception or a dispatch timeout.  If the
+        request is already completed the callback runs immediately.
+        Callback exceptions are swallowed (completion must never fail).
+        """
+        with self._lock:
+            if not self._completed:
+                self._completion_callbacks.append(callback)
+                return
+        self._run_callbacks([callback])
+
+    def _run_callbacks(self, callbacks) -> None:
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:  # noqa: BLE001 - release hooks must not unwind
+                pass
 
     def complete_from_reply(self, reply: Reply) -> bool:
         """Complete with a replica outcome (value, app error, or failure)."""

@@ -22,6 +22,7 @@ from repro.cactus.composite import CompositeProtocol, MicroProtocol
 from repro.cactus.runtime import CactusRuntime
 from repro.core.events import CONTROL_EVENT_PREFIX, EV_NEW_SERVER_REQUEST
 from repro.core.interfaces import ControlMessage, ServerPlatform
+from repro.core.platform import wrap_reply_value
 from repro.core.request import Request
 from repro.util.errors import ConfigurationError
 
@@ -68,9 +69,22 @@ class CactusServer(CompositeProtocol):
         Returns the (possibly micro-protocol-transformed) result; raises the
         request's failure otherwise.  The skeleton marshals the outcome back
         into the platform reply.
+
+        Whatever way the dispatch dies — a handler exception unwinding the
+        chain or the wait timing out — the request is *failed* before the
+        error propagates, so ``Request.on_complete`` release hooks
+        (admission slots, in-flight counters) always fire exactly once.
+        When server micro-protocols staged reply-direction piggyback, the
+        result travels inside the reserved reply envelope (see
+        :func:`repro.core.platform.wrap_reply_value`).
         """
-        self.raise_event(EV_NEW_SERVER_REQUEST, request)
-        return request.wait(self.request_timeout)
+        try:
+            self.raise_event(EV_NEW_SERVER_REQUEST, request)
+            value = request.wait(self.request_timeout)
+        except BaseException as exc:
+            request.fail(exc)  # no-op when already completed
+            raise
+        return wrap_reply_value(value, request.reply_piggyback)
 
     def handle_control(self, kind: str, payload: dict, sender: int) -> Any:
         """Deliver a peer control message to its ``control:<kind>`` event.

@@ -72,6 +72,7 @@ def clear_dispatch_plan_cache() -> None:
 _FT_CHOICES = ("none", "active", "passive")
 _ACCEPTANCE_CHOICES = (None, "first", "success", "vote")
 _TIMELINESS_CHOICES = (None, "priority", "queued", "timed")
+_SHED_POLICIES = (None, "low-priority-first", "deadline", "fair")
 
 
 @dataclass
@@ -131,6 +132,9 @@ class QosBuilder:
         self._access: dict[str, Any] | None = None
         self._timeliness: str | None = None
         self._timeliness_params: dict[str, Any] = {}
+        self._slo: dict[str, Any] | None = None
+        self._caching: dict[str, Any] | None = None
+        self._balance: dict[str, Any] | None = None
         self._extras_client: list[MicroProtocolSpec] = []
         self._extras_server: list[MicroProtocolSpec] = []
 
@@ -187,6 +191,78 @@ class QosBuilder:
         self._timeliness_params = params
         return self
 
+    # -- overload protection (SLO-declared, RAFDA-style: policy lives here,
+    # -- never in servant code) ------------------------------------------------------
+
+    def slo(
+        self,
+        slo_p99: float | None = None,
+        max_inflight: int | None = None,
+        shed_policy: str | None = None,
+        max_rate: float | None = None,
+        burst: float | None = None,
+        max_queue_depth: int | None = None,
+        class_rates: dict | None = None,
+    ) -> "QosBuilder":
+        """Declare the object's service-level objective.
+
+        ``slo_p99`` (seconds) becomes a client-side DeadlineBudget plus
+        server-side DeadlineShed and deadline-aware admission; ``max_inflight``
+        caps server concurrency; ``shed_policy`` picks who sheds first:
+        ``"low-priority-first"`` (high classes exempt), ``"deadline"``
+        (predictive shedding of doomed requests only — requires ``slo_p99``),
+        or ``"fair"`` (everyone equal).
+        """
+        if shed_policy not in _SHED_POLICIES:
+            raise ConfigurationError(f"shed_policy must be one of {_SHED_POLICIES}")
+        if shed_policy == "deadline" and slo_p99 is None:
+            raise ConfigurationError(
+                "shed_policy='deadline' requires slo_p99: without a deadline "
+                "budget there is no remaining time to predict against — "
+                "declare slo(slo_p99=...) or pick another shed policy"
+            )
+        self._slo = {
+            "slo_p99": slo_p99,
+            "max_inflight": max_inflight,
+            "shed_policy": shed_policy,
+            "max_rate": max_rate,
+            "burst": burst,
+            "max_queue_depth": max_queue_depth,
+            "class_rates": class_rates,
+        }
+        return self
+
+    def caching(
+        self,
+        read_operations: list | tuple,
+        ttl: float = 0.0,
+        invalidation: bool = True,
+        stale_while_shedding: bool = False,
+    ) -> "QosBuilder":
+        """Client-side result cache, paired (by default) with the
+        server-side CacheInvalidator for event-driven per-key coherence."""
+        if stale_while_shedding and self._slo is None:
+            raise ConfigurationError(
+                "caching(stale_while_shedding=True) requires a declared "
+                "slo(...): without admission control nothing ever sheds, so "
+                "the stale path is dead configuration — declare the SLO "
+                "first (builder order: slo() before caching())"
+            )
+        self._caching = {
+            "read_operations": tuple(read_operations),
+            "ttl": ttl,
+            "invalidation": invalidation,
+            "stale_while_shedding": stale_while_shedding,
+        }
+        return self
+
+    def load_balance(
+        self, poll_interval: float = 0.25, seed: int | None = None
+    ) -> "QosBuilder":
+        """Latency-EWMA replica balancing (client) + load reporting (server)."""
+        self._balance = {"poll_interval": poll_interval, "seed": seed}
+        return self
+
     # -- escape hatch ----------------------------------------------------------------
 
     def extra(self, side: str, name: str, **params: Any) -> "QosBuilder":
@@ -236,6 +312,9 @@ class QosBuilder:
             _freeze(self._access),
             self._timeliness,
             _freeze(self._timeliness_params),
+            _freeze(self._slo),
+            _freeze(self._caching),
+            _freeze(self._balance),
             spec_fingerprint(self._extras_client),
             spec_fingerprint(self._extras_server),
         )
@@ -271,6 +350,46 @@ class QosBuilder:
             server.append(MicroProtocolSpec("QueuedSched", dict(self._timeliness_params)))
         elif self._timeliness == "timed":
             server.append(MicroProtocolSpec("TimedSched", dict(self._timeliness_params)))
+
+        # Overload-protection stack.  Composition order (see DESIGN.md §12):
+        # client budget -> cache -> balancer; server admission -> shed.
+        if self._slo is not None:
+            slo = self._slo
+            if slo["slo_p99"] is not None:
+                client.append(MicroProtocolSpec("DeadlineBudget", {"budget": slo["slo_p99"]}))
+                server.append(MicroProtocolSpec("DeadlineShed"))
+            admission: dict[str, Any] = {
+                "deadline_aware": slo["slo_p99"] is not None,
+                "exempt_high_priority": slo["shed_policy"] == "low-priority-first",
+            }
+            for param in ("max_rate", "burst", "max_queue_depth", "class_rates"):
+                if slo[param] is not None:
+                    admission[param] = slo[param]
+            if slo["max_inflight"] is not None:
+                admission["max_concurrent"] = slo["max_inflight"]
+            server.append(MicroProtocolSpec("AdmissionControl", admission))
+        if self._caching is not None:
+            caching = self._caching
+            client.append(
+                MicroProtocolSpec(
+                    "ClientCache",
+                    {
+                        "read_operations": caching["read_operations"],
+                        "ttl": caching["ttl"],
+                        "stale_while_shedding": caching["stale_while_shedding"],
+                    },
+                )
+            )
+            if caching["invalidation"]:
+                server.append(
+                    MicroProtocolSpec(
+                        "CacheInvalidator",
+                        {"read_operations": caching["read_operations"]},
+                    )
+                )
+        if self._balance is not None:
+            client.append(MicroProtocolSpec("LoadBalance", dict(self._balance)))
+            server.append(MicroProtocolSpec("LoadReporter"))
 
         client.extend(self._extras_client)
         server.extend(self._extras_server)

@@ -50,6 +50,10 @@ TIMELINESS_FEATURES = ("priority", "queued", "timed")
 #: :func:`validate_configuration`, not extra axes of :func:`all_combinations`).
 RESILIENCE_FEATURES = ("retry", "breaker", "degrade", "deadline")
 
+#: Overload-protection extensions (same status as the resilience features:
+#: vocabulary for validation, not matrix axes).
+OVERLOAD_FEATURES = ("admission", "caching", "balance")
+
 #: Which side(s) each feature's micro-protocols live on.
 CLIENT_SIDE = {
     FT_PASSIVE: ("PassiveRep",),
@@ -63,6 +67,8 @@ CLIENT_SIDE = {
     "breaker": ("CircuitBreaker",),
     "degrade": ("Degrade",),
     "deadline": ("DeadlineBudget",),
+    "caching": ("ClientCache",),
+    "balance": ("LoadBalance",),
 }
 
 SERVER_SIDE = {
@@ -76,6 +82,9 @@ SERVER_SIDE = {
     "queued": ("QueuedSched",),
     "timed": ("TimedSched",),
     "deadline": ("DeadlineShed",),
+    "admission": ("AdmissionControl",),
+    "caching": ("CacheInvalidator",),
+    "balance": ("LoadReporter",),
 }
 
 
@@ -165,7 +174,12 @@ def validate_configuration(
     - paired protocols (privacy, integrity, passive replication) must be
       configured on both sides;
     - Retransmit and RetryBackoff are mutually exclusive — both rebind the
-      same failure, so configuring both multiplies retry traffic.
+      same failure, so configuring both multiplies retry traffic;
+    - overload-protection coherence: ClientCache must not silently bypass
+      privacy-without-integrity, acceptance voting, or replication
+      assigners; LoadBalance and the replication assigners replace the
+      same base handler; CacheInvalidator is pointless without its client
+      half.
     """
     client = set(client_names)
     server = set(server_names)
@@ -204,3 +218,35 @@ def validate_configuration(
             raise ConfigurationError(
                 f"{server_name} (server) requires {client_name} (client)"
             )
+
+    # -- overload-protection coherence ------------------------------------
+
+    if "ClientCache" in client and "DesPrivacy" in client and "SignedIntegrity" not in client:
+        raise ConfigurationError(
+            "ClientCache with DesPrivacy requires SignedIntegrity: cached "
+            "replies are stored and re-served as plaintext, so without a "
+            "signature a tampered cache-fill reply is replayed forever — "
+            "add .integrity(...) or drop the cache"
+        )
+    cache_bypassed = client & (_ACCEPTANCE | _CLIENT_FT)
+    if "ClientCache" in client and cache_bypassed:
+        raise ConfigurationError(
+            f"ClientCache cannot compose with {sorted(cache_bypassed)}: a "
+            "cache hit completes the request locally without consulting any "
+            "replica, silently bypassing the replication/acceptance "
+            "guarantee — drop the cache or the replication protocols"
+        )
+    lb_conflict = client & _CLIENT_FT
+    if "LoadBalance" in client and lb_conflict:
+        raise ConfigurationError(
+            f"LoadBalance and {sorted(lb_conflict)[0]} both replace the base "
+            "assigner: the replication protocol pins requests (primary / "
+            "all replicas) while LoadBalance spreads them, so state "
+            "diverges — pick one assignment policy"
+        )
+    if "CacheInvalidator" in server and "ClientCache" not in client:
+        raise ConfigurationError(
+            "CacheInvalidator (server) requires ClientCache (client): there "
+            "is no cache to invalidate — remove it or configure the client "
+            "half of the caching pair"
+        )

@@ -6,22 +6,35 @@ way (sections 2.2, 3, and 3.5):
 - :class:`~repro.qos.extensions.load_balance.LoadBalance` — "the
   server_status() operation … could be extended to provide information such
   as the load conditions on the server for load balancing purposes";
-- :class:`~repro.qos.extensions.caching.ClientCache` — "other properties
-  and functions such as caching, prefetching, and load balancing could be
-  implemented in similar ways";
+- :class:`~repro.qos.extensions.caching.ClientCache` /
+  :class:`~repro.qos.extensions.caching.CacheInvalidator` — "other
+  properties and functions such as caching, prefetching, and load balancing
+  could be implemented in similar ways";
 - :class:`~repro.qos.extensions.admission.AdmissionControl` — "additional
   timeliness micro-protocols could include admission control and traffic
   enforcement".
+
+Together they form the overload-protection stack (DESIGN.md §12): SLO-aware
+admission sheds doomed and over-budget work first, the caching pair keeps
+read traffic off the wire with event-driven invalidation, and the
+latency-EWMA balancer steers around hot replicas.
 """
 
 from repro.qos.extensions.load_balance import LoadBalance, LoadReporter
-from repro.qos.extensions.caching import ClientCache
-from repro.qos.extensions.admission import AdmissionControl, RateLimiter
+from repro.qos.extensions.caching import ATTR_SERVED_STALE, CacheInvalidator, ClientCache
+from repro.qos.extensions.admission import (
+    AdmissionControl,
+    AdmissionRejectedError,
+    RateLimiter,
+)
 
 __all__ = [
     "LoadBalance",
     "LoadReporter",
     "ClientCache",
+    "CacheInvalidator",
+    "ATTR_SERVED_STALE",
     "AdmissionControl",
+    "AdmissionRejectedError",
     "RateLimiter",
 ]

@@ -2,36 +2,51 @@
 
 - :class:`RateLimiter` — a token bucket (capacity + refill rate) shared by
   the enforcement protocols, driven by the composite's clock so virtual
-  time works in tests;
+  time works in tests; guarded against monotonic-clock regressions and
+  safe under concurrent acquirers;
 - :class:`AdmissionControl` — a server-side micro-protocol bound early to
-  ``readyToInvoke`` that rejects work beyond the configured rate and/or
-  concurrency, completing the request with
-  :class:`~repro.util.errors.ReproError` before any resource is consumed.
-  Optionally exempts high-priority requests (admission control as a
-  timeliness attribute: shed load from the low classes first).
+  ``readyToInvoke`` that sheds work the server cannot usefully do *before*
+  any resource is consumed: beyond the configured rate (global or
+  per-priority-class token buckets, so low classes shed first), beyond the
+  concurrency budget, beyond the station queue depth, or — when the request
+  carries a PB_DEADLINE budget — predicted to miss its deadline given the
+  observed service-time EWMA.  Rejections fail the request with the
+  wire-safe :class:`~repro.util.errors.AdmissionRejectedError` carrying a
+  ``Retry-After``-style hint, which ``RetryBackoff`` clients honour as a
+  floor on their next delay instead of hammering the overloaded server.
+
+Slot accounting rides on :meth:`Request.on_complete`, not an
+``invokeReturn`` binding: a request that faults mid-pipeline (handler
+exception, transport crash, dispatch timeout) still releases its slot
+exactly once.
 """
 
 from __future__ import annotations
 
+import threading
+
 from repro.cactus.composite import MicroProtocol
 from repro.cactus.config import register_micro_protocol
-from repro.cactus.events import ORDER_LAST, Occurrence
-from repro.core.events import EV_INVOKE_RETURN, EV_READY_TO_INVOKE
+from repro.cactus.events import ORDER_FIRST, Occurrence
+from repro.core.events import EV_NEW_SERVER_REQUEST, EV_READY_TO_INVOKE
 from repro.core.request import Request
 from repro.qos.timeliness.common import HIGH_PRIORITY_THRESHOLD, is_high_priority
 from repro.util.clock import Clock
-from repro.util.errors import ReproError
+from repro.util.errors import AdmissionRejectedError
 from repro.util.log import get_logger
+
+__all__ = ["AdmissionControl", "AdmissionRejectedError", "RateLimiter", "ORDER_ADMISSION"]
 
 logger = get_logger("qos.admission")
 
 
-class AdmissionRejectedError(ReproError):
-    """The server shed this request before executing it."""
-
-
 class RateLimiter:
-    """A token bucket on an injectable clock."""
+    """A token bucket on an injectable clock.
+
+    Thread-safe; a backwards step of the clock (a regression a virtual
+    clock or a suspended VM can produce) is treated as zero elapsed time
+    instead of draining the bucket.
+    """
 
     def __init__(self, rate: float, capacity: float, clock: Clock):
         if rate <= 0 or capacity <= 0:
@@ -41,31 +56,61 @@ class RateLimiter:
         self._clock = clock
         self._tokens = capacity
         self._updated = clock.now()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = max(0.0, now - self._updated)  # clock-regression guard
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        # High-water mark: a rewound clock that later catches back up must
+        # not mint tokens for time that never really passed.
+        self._updated = max(self._updated, now)
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
         """Take ``tokens`` if available; never blocks."""
-        now = self._clock.now()
-        self._tokens = min(self.capacity, self._tokens + (now - self._updated) * self.rate)
-        self._updated = now
-        if self._tokens >= tokens:
-            self._tokens -= tokens
-            return True
-        return False
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
 
     @property
     def available(self) -> float:
-        now = self._clock.now()
-        return min(self.capacity, self._tokens + (now - self._updated) * self.rate)
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+    def time_until(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will have refilled (0.0 when available)."""
+        with self._lock:
+            self._refill()
+            deficit = min(tokens, self.capacity) - self._tokens
+            return max(0.0, deficit / self.rate)
 
 
 #: Admission runs after AccessControl (0) and before the schedulers (2):
 #: shed load before queuing it.
 ORDER_ADMISSION = 1
 
+#: Request attribute recording the admission timestamp (service-time EWMA).
+_ATTR_ADMIT_TS = "admission_ts"
+
 
 @register_micro_protocol("AdmissionControl")
 class AdmissionControl(MicroProtocol):
-    """Reject requests beyond a rate and/or concurrency budget."""
+    """Shed requests beyond rate / concurrency / queue / deadline budgets.
+
+    ``class_rates`` maps a minimum priority to a ``(rate, burst)`` token
+    bucket; a request draws from the bucket of the highest threshold at or
+    below its priority, falling back to the global ``max_rate`` bucket.
+    Giving the low classes smaller buckets makes overload shed them first
+    while the high classes keep their reserved throughput.
+
+    With ``deadline_aware`` (default), a request carrying a PB_DEADLINE
+    whose remaining budget is below the observed service-time EWMA is shed
+    up front — the slot it would occupy is guaranteed wasted work.
+    """
 
     name = "AdmissionControl"
 
@@ -74,63 +119,163 @@ class AdmissionControl(MicroProtocol):
         max_rate: float | None = None,
         burst: float | None = None,
         max_concurrent: int | None = None,
+        max_queue_depth: int | None = None,
+        class_rates: dict | None = None,
+        deadline_aware: bool = True,
         exempt_high_priority: bool = True,
         high_threshold: int = HIGH_PRIORITY_THRESHOLD,
+        service_time_alpha: float = 0.2,
+        retry_after_floor: float = 0.05,
+        deadline_shed_decay: float = 0.95,
     ):
         super().__init__()
         self._max_rate = max_rate
         self._burst = burst if burst is not None else (max_rate or 1.0)
         self._max_concurrent = max_concurrent
+        self._max_queue_depth = max_queue_depth
+        self._class_rates = dict(class_rates or {})
+        self._deadline_aware = deadline_aware
         self._exempt_high = exempt_high_priority
         self._high_threshold = high_threshold
+        self._alpha = service_time_alpha
+        self._retry_after_floor = retry_after_floor
+        self._deadline_shed_decay = deadline_shed_decay
         self._limiter: RateLimiter | None = None
+        #: (min_priority, limiter), highest threshold first.
+        self._class_limiters: list = []
         self._in_flight = 0
+        self._pending = 0
+        self._service_ewma: float | None = None
         self.rejected = 0
 
     def start(self) -> None:
+        clock = self.composite.runtime.clock
         if self._max_rate is not None:
-            self._limiter = RateLimiter(
-                self._max_rate, self._burst, self.composite.runtime.clock
+            self._limiter = RateLimiter(self._max_rate, self._burst, clock)
+        self._class_limiters = [
+            (threshold, RateLimiter(rate, burst, clock))
+            for threshold, (rate, burst) in sorted(
+                self._class_rates.items(), reverse=True
             )
+        ]
+        if self._max_queue_depth is not None:
+            self.bind(EV_NEW_SERVER_REQUEST, self.track_arrival, order=ORDER_FIRST)
         self.bind(EV_READY_TO_INVOKE, self.admit, order=ORDER_ADMISSION)
-        self.bind(EV_INVOKE_RETURN, self.release, order=ORDER_LAST)
+
+    # -- queue-depth tracking ------------------------------------------------
+
+    def track_arrival(self, occurrence: Occurrence) -> None:
+        request: Request = occurrence.args[0]
+        with self.shared.lock:
+            self._pending += 1
+        request.on_complete(self._departed)
+
+    def _departed(self, request: Request) -> None:
+        with self.shared.lock:
+            self._pending = max(0, self._pending - 1)
+
+    # -- admission -----------------------------------------------------------
+
+    def _limiter_for(self, request: Request) -> RateLimiter | None:
+        for threshold, limiter in self._class_limiters:
+            if request.priority >= threshold:
+                return limiter
+        return self._limiter
+
+    def _shed(self, occurrence: Occurrence, request: Request, reason: str,
+              retry_after: float) -> None:
+        with self.shared.lock:
+            self.rejected += 1
+            # Congestion-probe decay: the service-time EWMA only refreshes
+            # from *admitted* requests, so an estimate inflated past every
+            # client's budget during a surge would otherwise shed forever.
+            # Each deadline shed decays it until a probe gets through and
+            # re-measures reality (self-healing after overload drains).
+            if reason == "deadline" and self._service_ewma is not None:
+                self._service_ewma *= self._deadline_shed_decay
+        self.incr("rejected")
+        self.incr(f"shed_{reason}")
+        logger.warning(
+            "admission control shed %s from %s (%s budget)",
+            request.operation, request.client_id or "<anonymous>", reason,
+        )
+        request.fail(
+            AdmissionRejectedError(
+                f"request shed by admission control ({reason} budget)",
+                retry_after=max(retry_after, 0.0),
+            )
+        )
+        occurrence.halt_all()
 
     def admit(self, occurrence: Occurrence) -> None:
         request: Request = occurrence.args[0]
+        clock = self.composite.runtime.clock
+        now = clock.now()
         if self._exempt_high and is_high_priority(request, self._high_threshold):
-            with self.shared.lock:
-                self._in_flight += 1
-                request.attributes["admitted"] = True
+            self._admit(request, now)
             return
         with self.shared.lock:
+            ewma = self._service_ewma
+            pending = self._pending
             over_concurrency = (
                 self._max_concurrent is not None
                 and self._in_flight >= self._max_concurrent
             )
-            over_rate = self._limiter is not None and not self._limiter.try_acquire()
-            if over_concurrency or over_rate:
-                self.rejected += 1
-                reason = "concurrency" if over_concurrency else "rate"
-                logger.warning(
-                    "admission control shed %s from %s (%s budget)",
-                    request.operation, request.client_id or "<anonymous>", reason,
-                )
-                request.fail(
-                    AdmissionRejectedError(
-                        f"request shed by admission control ({reason} budget)"
-                    )
-                )
-                occurrence.halt_all()
+        hint = ewma if ewma is not None else self._retry_after_floor
+        # Deadline-aware pre-check: shed doomed work before it costs a
+        # token or a slot (DeadlineShed only catches *already expired*
+        # requests; this predicts the miss).
+        if self._deadline_aware and ewma is not None:
+            remaining = request.remaining_budget(now)
+            if remaining is not None and remaining < ewma:
+                self._shed(occurrence, request, "deadline", hint)
                 return
-            self._in_flight += 1
-            request.attributes["admitted"] = True
+        if self._max_queue_depth is not None and pending > self._max_queue_depth:
+            self._shed(occurrence, request, "queue", hint)
+            return
+        if over_concurrency:
+            self._shed(occurrence, request, "concurrency", hint)
+            return
+        limiter = self._limiter_for(request)
+        if limiter is not None and not limiter.try_acquire():
+            self._shed(occurrence, request, "rate", max(limiter.time_until(), hint))
+            return
+        self._admit(request, now)
 
-    def release(self, occurrence: Occurrence) -> None:
-        request: Request = occurrence.args[0]
-        if request.attributes.pop("admitted", False):
-            with self.shared.lock:
-                self._in_flight = max(0, self._in_flight - 1)
+    def _admit(self, request: Request, now: float) -> None:
+        with self.shared.lock:
+            self._in_flight += 1
+        request.attributes["admitted"] = True
+        request.attributes[_ATTR_ADMIT_TS] = now
+        self.incr("admitted")
+        # on_complete (not invokeReturn) so a fault anywhere downstream —
+        # handler exception, transport crash, dispatch timeout — still
+        # releases the slot exactly once.
+        request.on_complete(self._release)
+
+    def _release(self, request: Request) -> None:
+        if not request.attributes.pop("admitted", False):
+            return
+        admitted_at = request.attributes.pop(_ATTR_ADMIT_TS, None)
+        with self.shared.lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            if admitted_at is not None:
+                sample = max(0.0, self.composite.runtime.clock.now() - admitted_at)
+                if self._service_ewma is None:
+                    self._service_ewma = sample
+                else:
+                    self._service_ewma += self._alpha * (sample - self._service_ewma)
+
+    # -- introspection -------------------------------------------------------
 
     def in_flight(self) -> int:
         with self.shared.lock:
             return self._in_flight
+
+    def queue_depth(self) -> int:
+        with self.shared.lock:
+            return self._pending
+
+    def service_time_ewma(self) -> float | None:
+        with self.shared.lock:
+            return self._service_ewma

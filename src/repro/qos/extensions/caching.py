@@ -1,52 +1,100 @@
-"""Client-side result caching (extension; paper §3 names caching as a
-property implementable "in similar ways").
+"""Result caching as a coherent micro-protocol *pair* (extension; paper §3
+names caching as a property implementable "in similar ways").
 
-:class:`ClientCache` serves designated *read* operations from a local cache
-and invalidates on any other (write) operation to the same object — the
-classic read-mostly accelerator, expressed as two handlers:
+:class:`ClientCache` serves designated *read* operations from a local cache;
+:class:`CacheInvalidator` is its server-side counterpart: on every mutating
+operation it bumps an invalidation epoch, records which read operations the
+write invalidated, raises the Cactus ``cacheInvalidate`` event, and
+piggybacks the per-operation delta back to clients on the reply leg (the
+PB_* codec's reply envelope) — so client invalidation is *event-driven and
+per-key* instead of the historical all-or-nothing ``invalidate()``.
 
-- an early ``newRequest`` handler that completes cached reads locally and
-  halts the pipeline (no message is sent at all);
-- a late ``invokeSuccess`` handler that populates the cache from real
-  replies and clears it after writes.
+The client stamps its last seen epoch (``PB_CACHE_EPOCH``) on every request;
+the server answers with only the invalidations the client has not seen yet
+(``PB_CACHE_INVALIDATE``), or "flush everything" when the client is further
+behind than the bounded invalidation log remembers.  Epochs are tracked per
+replica, so the pair stays correct under latency-aware balancing.
 
-Consistency caveat (documented, not hidden): the cache is per-client; other
-clients' writes are invisible until ``ttl`` expires.  With ``ttl=0`` the
-cache only coalesces a client's own repeated reads between its own writes.
+Overload coupling: with ``stale_while_shedding`` the cache catches
+:class:`~repro.util.errors.AdmissionRejectedError` failures and serves the
+*expired* entry instead — when the server is shedding, a stale answer beats
+no answer (the serve is marked with :data:`ATTR_SERVED_STALE`).
+
+Consistency caveat (documented, not hidden): without a server-side
+CacheInvalidator, other clients' writes stay invisible until ``ttl``
+expires, exactly as before.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.cactus.composite import MicroProtocol
 from repro.cactus.config import register_micro_protocol
-from repro.cactus.events import ORDER_FIRST, ORDER_LATE, Occurrence
-from repro.core.events import EV_INVOKE_SUCCESS, EV_NEW_REQUEST
-from repro.core.request import Reply, Request
+from repro.cactus.events import ORDER_DEFAULT, ORDER_FIRST, ORDER_LATE, Occurrence
+from repro.core.events import (
+    EV_INVOKE_FAILURE,
+    EV_INVOKE_RETURN,
+    EV_INVOKE_SUCCESS,
+    EV_NEW_REQUEST,
+    EV_READY_TO_SEND,
+)
+from repro.core.request import PB_CACHE_EPOCH, PB_CACHE_INVALIDATE, Reply, Request
+from repro.util.errors import AdmissionRejectedError
+from repro.util.log import get_logger
+
+logger = get_logger("qos.caching")
+
+#: Cactus event raised by CacheInvalidator when a write invalidates reads:
+#: ``cacheInvalidate(epoch, operations)`` (operations is None for "all").
+EV_CACHE_INVALIDATE = "cacheInvalidate"
+
+#: Request attribute marking a reply served from an expired cache entry
+#: because admission control was shedding.
+ATTR_SERVED_STALE = "cache_stale"
 
 
 @register_micro_protocol("ClientCache")
 class ClientCache(MicroProtocol):
-    """Cache replies of read operations; invalidate on writes."""
+    """Cache replies of read operations; invalidate per-key on events."""
 
     name = "ClientCache"
 
-    def __init__(self, read_operations: list[str] | tuple[str, ...] = (), ttl: float = 0.0):
+    def __init__(
+        self,
+        read_operations: list[str] | tuple[str, ...] = (),
+        ttl: float = 0.0,
+        stale_while_shedding: bool = False,
+    ):
         """``read_operations``: operation names safe to serve from cache.
 
-        ``ttl``: seconds a cached value stays fresh; 0 means "until this
-        client's next write".
+        ``ttl``: seconds a cached value stays fresh; 0 means "until
+        invalidated" (by this client's own writes or by a server-side
+        CacheInvalidator delta).
+
+        ``stale_while_shedding``: serve expired entries when the server's
+        admission control rejects the refresh.
         """
         super().__init__()
         self._reads = frozenset(read_operations)
         self._ttl = ttl
+        self._stale_while_shedding = stale_while_shedding
         # (operation, params-repr) -> (value, cached_at)
         self._cache: dict[tuple, tuple] = {}
+        # operation -> set of cache keys (per-key invalidation index)
+        self._by_op: dict[str, set] = {}
+        # replica -> last invalidation epoch seen from it
+        self._epochs: dict[int, int] = {}
         self.hits = 0
         self.misses = 0
+        self.stale_serves = 0
 
     def start(self) -> None:
         self.bind(EV_NEW_REQUEST, self.serve_from_cache, order=ORDER_FIRST)
+        self.bind(EV_READY_TO_SEND, self.stamp_epoch, order=ORDER_DEFAULT)
         self.bind(EV_INVOKE_SUCCESS, self.update_cache, order=ORDER_LATE)
+        if self._stale_while_shedding:
+            self.bind(EV_INVOKE_FAILURE, self.serve_stale, order=ORDER_LATE)
 
     def _key(self, request: Request) -> tuple:
         return (request.operation, repr(request.get_params()))
@@ -55,6 +103,8 @@ class ClientCache(MicroProtocol):
         if self._ttl <= 0.0:
             return True
         return self.composite.runtime.clock.now() - cached_at <= self._ttl
+
+    # -- handlers ------------------------------------------------------------
 
     def serve_from_cache(self, occurrence: Occurrence) -> None:
         request: Request = occurrence.args[0]
@@ -69,20 +119,84 @@ class ClientCache(MicroProtocol):
         else:
             self.misses += 1
 
+    def stamp_epoch(self, occurrence: Occurrence) -> None:
+        """Tell the server which invalidation epoch this client has seen."""
+        request: Request = occurrence.args[0]
+        server: int = occurrence.args[1]
+        with self.shared.lock:
+            request.piggyback[PB_CACHE_EPOCH] = self._epochs.get(server, 0)
+
     def update_cache(self, occurrence: Occurrence) -> None:
         request: Request = occurrence.args[0]
         reply: Reply = occurrence.args[2]
+        delta = request.reply_piggyback.get(PB_CACHE_INVALIDATE)
+        if delta is not None:
+            self._apply_delta(reply.server, delta)
         if reply.exception is not None:
             return
         with self.shared.lock:
             if request.operation in self._reads:
-                self._cache[self._key(request)] = (
+                key = self._key(request)
+                self._cache[key] = (
                     reply.value,
                     self.composite.runtime.clock.now(),
                 )
+                self._by_op.setdefault(request.operation, set()).add(key)
+            elif delta is None:
+                # A write with no server-side invalidator: fall back to the
+                # historical all-or-nothing clear.
+                self._clear_locked()
+
+    def serve_stale(self, occurrence: Occurrence) -> None:
+        """Shed refresh: an expired entry beats no answer at all."""
+        request: Request = occurrence.args[0]
+        reply: Reply = occurrence.args[2]
+        if not isinstance(reply.exception, AdmissionRejectedError):
+            return
+        if request.operation not in self._reads:
+            return
+        with self.shared.lock:
+            entry = self._cache.get(self._key(request))
+        if entry is None:
+            return
+        request.attributes[ATTR_SERVED_STALE] = True
+        self.stale_serves += 1
+        self.incr("stale_serves")
+        if request.complete(entry[0]):
+            occurrence.halt()
+
+    # -- invalidation ---------------------------------------------------------
+
+    def _apply_delta(self, server: int, delta) -> None:
+        try:
+            epoch, operations = delta
+        except (TypeError, ValueError):
+            return
+        with self.shared.lock:
+            if epoch <= self._epochs.get(server, 0):
+                return
+            self._epochs[server] = int(epoch)
+            if operations is None:
+                self._clear_locked()
+                return
+            for operation in operations:
+                self._invalidate_locked(operation)
+
+    def _invalidate_locked(self, operation: str) -> None:
+        for key in self._by_op.pop(operation, set()):
+            self._cache.pop(key, None)
+
+    def _clear_locked(self) -> None:
+        self._cache.clear()
+        self._by_op.clear()
+
+    def invalidate(self, operation: str | None = None) -> None:
+        """Explicit invalidation hook: one operation's entries, or all."""
+        with self.shared.lock:
+            if operation is None:
+                self._clear_locked()
             else:
-                # A write: everything this client cached may be stale.
-                self._cache.clear()
+                self._invalidate_locked(operation)
 
     def peek(self, request: Request) -> tuple[bool, object]:
         """Look up the cached value for ``request`` without completing it.
@@ -95,7 +209,86 @@ class ClientCache(MicroProtocol):
             entry = self._cache.get(self._key(request))
         return (True, entry[0]) if entry is not None else (False, None)
 
-    def invalidate(self) -> None:
-        """Explicit invalidation hook for applications."""
+
+@register_micro_protocol("CacheInvalidator")
+class CacheInvalidator(MicroProtocol):
+    """Server half of the caching pair: event-driven invalidation.
+
+    ``invalidates`` optionally maps a write operation to the read
+    operations it invalidates (e.g. ``{"deposit": ["get_balance"]}``);
+    without it every successful write invalidates every read operation.
+    The invalidation log is bounded (``log_size`` epochs); a client further
+    behind than the log gets a "flush everything" delta, which is always
+    safe.
+    """
+
+    name = "CacheInvalidator"
+
+    def __init__(
+        self,
+        read_operations: list[str] | tuple[str, ...] = (),
+        invalidates: dict | None = None,
+        log_size: int = 256,
+    ):
+        super().__init__()
+        self._reads = frozenset(read_operations)
+        self._invalidates = (
+            {op: tuple(targets) for op, targets in invalidates.items()}
+            if invalidates
+            else None
+        )
+        # (epoch, frozenset(operations) | None); None = all read operations.
+        self._log: deque = deque(maxlen=log_size)
+        self._epoch = 0
+
+    def start(self) -> None:
+        self.bind(EV_INVOKE_RETURN, self.on_return, order=ORDER_LATE)
+
+    def epoch(self) -> int:
         with self.shared.lock:
-            self._cache.clear()
+            return self._epoch
+
+    def on_return(self, occurrence: Occurrence) -> None:
+        from repro.qos.base import ATTR_SERVANT_EXCEPTION
+
+        request: Request = occurrence.args[0]
+        mutated = (
+            request.operation not in self._reads
+            and request.attributes.get(ATTR_SERVANT_EXCEPTION) is None
+        )
+        if mutated:
+            if self._invalidates is None:
+                affected = None  # all read operations
+            else:
+                affected = frozenset(self._invalidates.get(request.operation, ()))
+            if affected is None or affected:
+                with self.shared.lock:
+                    self._epoch += 1
+                    self._log.append((self._epoch, affected))
+                    epoch = self._epoch
+                self.incr("invalidations")
+                self.raise_event(EV_CACHE_INVALIDATE, epoch, affected)
+        client_epoch = request.piggyback.get(PB_CACHE_EPOCH)
+        if client_epoch is None:
+            return
+        delta = self._delta_since(int(client_epoch))
+        if delta is not None:
+            request.reply_piggyback[PB_CACHE_INVALIDATE] = delta
+
+    def _delta_since(self, client_epoch: int):
+        """``[epoch, ops]`` the client has not seen (None ops = flush all)."""
+        with self.shared.lock:
+            if client_epoch >= self._epoch:
+                return None  # client is current: nothing to piggyback
+            oldest_known = self._log[0][0] if self._log else self._epoch + 1
+            if client_epoch < oldest_known - 1:
+                # The log no longer reaches back far enough: flush all.
+                return [self._epoch, None]
+            operations: set = set()
+            for epoch, affected in self._log:
+                if epoch <= client_epoch:
+                    continue
+                if affected is None:
+                    return [self._epoch, None]
+                operations.update(affected)
+            return [self._epoch, sorted(operations)]

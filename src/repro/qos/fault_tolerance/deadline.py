@@ -28,6 +28,7 @@ from repro.cactus.config import register_micro_protocol
 from repro.cactus.events import ORDER_FIRST, Occurrence
 from repro.core.events import (
     EV_INVOKE_FAILURE,
+    EV_INVOKE_SUCCESS,
     EV_NEW_REQUEST,
     EV_NEW_SERVER_REQUEST,
     EV_READY_TO_SEND,
@@ -48,6 +49,13 @@ class DeadlineBudget(MicroProtocol):
     ``readyToSend`` — including retries raised by the retry micro-protocols —
     an already-expired request is failed locally instead of being sent, so a
     slow first attempt does not cascade into doomed retries.
+
+    On ``invokeSuccess`` a reply that arrives *after* the deadline is
+    rejected instead of served: the caller's contract is "an answer within
+    the budget or an error", and a late answer silently served would make
+    every downstream deadline guarantee unverifiable.  This closes the
+    last hole in the overload stack's "zero responses past PB_DEADLINE"
+    invariant (admission and DeadlineShed only cover the server side).
     """
 
     name = "DeadlineBudget"
@@ -62,6 +70,7 @@ class DeadlineBudget(MicroProtocol):
     def start(self) -> None:
         self.bind(EV_NEW_REQUEST, self.attach_deadline, order=ORDER_FIRST)
         self.bind(EV_READY_TO_SEND, self.shed_expired, order=ORDER_FIRST)
+        self.bind(EV_INVOKE_SUCCESS, self.reject_late, order=ORDER_FIRST)
 
     def attach_deadline(self, occurrence: Occurrence) -> None:
         request: Request = occurrence.args[0]
@@ -90,6 +99,23 @@ class DeadlineBudget(MicroProtocol):
         request.add_reply(reply)
         occurrence.halt()
         self.raise_event(EV_INVOKE_FAILURE, request, server, reply)
+
+    def reject_late(self, occurrence: Occurrence) -> None:
+        """A success past the deadline is a failure, not a slow success."""
+        request: Request = occurrence.args[0]
+        now = self.composite.runtime.clock.now()
+        if not request.deadline_expired(now):
+            return
+        self.incr("late_replies")
+        logger.debug(
+            "rejecting late reply of %s: arrived past deadline", request.operation
+        )
+        occurrence.halt_all()
+        request.fail(
+            DeadlineExceededError(
+                f"reply to {request.operation} arrived after its deadline"
+            )
+        )
 
 
 @register_micro_protocol("DeadlineShed")

@@ -41,6 +41,7 @@ from repro.core.events import EV_INVOKE_FAILURE, EV_INVOKE_SUCCESS, EV_READY_TO_
 from repro.core.interfaces import ClientPlatform
 from repro.core.request import Reply, Request
 from repro.util.errors import (
+    AdmissionRejectedError,
     CircuitOpenError,
     CommunicationError,
     DeadlineExceededError,
@@ -122,7 +123,12 @@ class RetryBackoff(MicroProtocol):
         request: Request = occurrence.args[0]
         server: int = occurrence.args[1]
         reply: Reply = occurrence.args[2]
-        if not is_retryable(reply.exception):
+        # A server-side admission shed is not "retryable" in the shared
+        # taxonomy (naive retry loops must not hammer an overloaded server),
+        # but *this* protocol may retry it — after honouring the server's
+        # Retry-After hint as a floor on the backoff delay.
+        shed = isinstance(reply.exception, AdmissionRejectedError)
+        if not shed and not is_retryable(reply.exception):
             return  # crashed host / spent deadline / open breaker: not ours
         with request.mutex:
             attempts = request.attributes.get(ATTR_RETRY_ATTEMPTS, {}).get(server, 1)
@@ -135,6 +141,11 @@ class RetryBackoff(MicroProtocol):
                 self.incr("deadline_abandoned")
                 return
             delay = self._next_delay(request, server, attempts)
+            if shed:
+                hint = getattr(reply.exception, "retry_after", None)
+                if hint is not None:
+                    delay = min(self._max_delay, max(delay, hint))
+                self.incr("shed_backoffs")
             remaining = request.remaining_budget(now)
             if remaining is not None and delay >= remaining:
                 # The retry could not possibly answer in time.
@@ -364,7 +375,12 @@ class CircuitBreaker(MicroProtocol):
 
     @staticmethod
     def _counts_as_failure(exception: BaseException | None) -> bool:
-        """Server-health failures only: not our own rejections or deadline sheds."""
-        if isinstance(exception, (CircuitOpenError, DeadlineExceededError)):
+        """Server-health failures only: not our own rejections, deadline
+        sheds, or admission sheds (a shedding server is *alive* and
+        protecting itself — tripping the breaker would double-punish it)."""
+        if isinstance(
+            exception,
+            (CircuitOpenError, DeadlineExceededError, AdmissionRejectedError),
+        ):
             return False
         return isinstance(exception, CommunicationError)

@@ -78,6 +78,42 @@ class CircuitOpenError(CommunicationError):
     """
 
 
+class AdmissionRejectedError(CommunicationError):
+    """The server's admission control shed the request before invoking it.
+
+    Carries an optional ``retry_after`` hint (seconds) telling the client
+    when capacity is expected back — RetryBackoff honours it as a floor on
+    its next delay instead of hammering an overloaded server.  The hint is
+    encoded into the message text (``retry-after=<seconds>``) so it survives
+    the platforms' {type, message} system-error marshalling; the wire-safe
+    rehydration below parses it back out.
+
+    Excluded from :data:`NON_RETRYABLE_COMMUNICATION` deliberately *not*:
+    plain ``is_retryable`` answers False so naive retry loops (Retransmit)
+    do not re-hammer a shedding server; RetryBackoff special-cases this type
+    and retries only after the hinted delay.
+    """
+
+    _HINT_PREFIX = "retry-after="
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        if retry_after is None:
+            # Rehydration path: recover the hint from the wire message.
+            marker = message.rfind(self._HINT_PREFIX)
+            if marker >= 0:
+                try:
+                    retry_after = float(
+                        message[marker + len(self._HINT_PREFIX):].split(")")[0]
+                    )
+                except ValueError:
+                    retry_after = None
+        elif self._HINT_PREFIX not in message:
+            message = f"{message} ({self._HINT_PREFIX}{retry_after:.4f})"
+        super().__init__(message)
+        #: Seconds until the server expects to have capacity, or None.
+        self.retry_after = retry_after
+
+
 class AccessDeniedError(ReproError):
     """The access-control micro-protocol rejected the request."""
 
@@ -106,11 +142,18 @@ class ConfigurationError(ReproError):
 # - DeadlineExceededError — the budget is spent; retrying cannot un-spend it;
 # - CircuitOpenError — the breaker rejected the call locally; retrying
 #   would defeat the breaker's purpose;
+# - AdmissionRejectedError — the server is shedding load; blind retries feed
+#   the overload (RetryBackoff alone retries it, after the hinted delay);
 # - everything non-communication (marshalling, access control, application
 #   exceptions) — retrying deterministic failures reproduces them.
 
 #: CommunicationError subtypes that must NOT be retried.
-NON_RETRYABLE_COMMUNICATION = (ServerFailedError, DeadlineExceededError, CircuitOpenError)
+NON_RETRYABLE_COMMUNICATION = (
+    ServerFailedError,
+    DeadlineExceededError,
+    CircuitOpenError,
+    AdmissionRejectedError,
+)
 
 
 def is_retryable(exception: BaseException | None) -> bool:
@@ -146,6 +189,7 @@ def classify_error(exception: BaseException | None) -> str:
 
 _WIRE_SAFE_ERRORS: dict[str, type] = {
     "DeadlineExceededError": DeadlineExceededError,
+    "AdmissionRejectedError": AdmissionRejectedError,
 }
 
 

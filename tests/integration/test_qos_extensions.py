@@ -10,7 +10,6 @@ from repro.qos.extensions import AdmissionControl, ClientCache, LoadBalance, Loa
 from repro.qos.extensions.admission import AdmissionRejectedError, RateLimiter
 from repro.qos.timeliness import HIGH_PRIORITY, LOW_PRIORITY
 from repro.util.clock import VirtualClock
-from repro.util.errors import InvocationError
 
 
 class TestLoadBalance:
@@ -181,7 +180,8 @@ class TestAdmissionControl:
         assert entered.wait(10.0)
         try:
             second = deployment.client_stub("acct", bank_interface())
-            with pytest.raises(InvocationError, match="admission"):
+            # The shed rehydrates to the real wire-safe error client-side.
+            with pytest.raises(AdmissionRejectedError, match="admission"):
                 second.get_balance()
         finally:
             gate.set()
@@ -206,5 +206,5 @@ class TestAdmissionControl:
         vip = deployment.client_stub("acct", bank_interface(), client_id="vip")
         pleb = deployment.client_stub("acct", bank_interface(), client_id="pleb")
         assert vip.get_balance() == 0.0  # exempt from the empty bucket
-        with pytest.raises(InvocationError, match="admission"):
+        with pytest.raises(AdmissionRejectedError, match="admission"):
             pleb.get_balance()

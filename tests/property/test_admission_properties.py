@@ -1,0 +1,152 @@
+"""Property tests for the overload-protection primitives.
+
+Two families:
+
+- :class:`RateLimiter` — under *arbitrary* interleavings of clock advances
+  and acquisition attempts the bucket must never grant more than burst
+  capacity plus what the refill rate allows, and a monotonic-clock
+  regression must never mint tokens;
+- :class:`LoadBalance` EWMA selection — the power-of-two-choices policy
+  must converge onto a clearly faster replica yet never starve any member
+  of a pool of equals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qos.extensions.load_balance import LoadBalance
+from repro.qos.extensions.admission import RateLimiter
+from repro.util.clock import VirtualClock
+
+# One step of a rate-limiter schedule: advance the clock by `dt` then try
+# to acquire `tokens`.
+_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestRateLimiterProperties:
+    @given(
+        rate=st.floats(min_value=0.1, max_value=100.0),
+        capacity=st.floats(min_value=0.5, max_value=20.0),
+        steps=_steps,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_burst_plus_refill(self, rate, capacity, steps):
+        """Conservation: grants <= capacity + rate * elapsed, always."""
+        clock = VirtualClock()
+        limiter = RateLimiter(rate=rate, capacity=capacity, clock=clock)
+        granted = 0.0
+        elapsed = 0.0
+        for dt, tokens in steps:
+            clock.advance(dt)
+            elapsed += dt
+            if limiter.try_acquire(tokens):
+                granted += tokens
+            # The invariant holds at every step, not just at the end.
+            assert granted <= capacity + rate * elapsed + 1e-6
+
+    @given(
+        rate=st.floats(min_value=0.1, max_value=100.0),
+        capacity=st.floats(min_value=1.0, max_value=20.0),
+        burst_attempts=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_instantaneous_burst_bounded_by_capacity(
+        self, rate, capacity, burst_attempts
+    ):
+        """With the clock frozen, at most `capacity` tokens are granted."""
+        limiter = RateLimiter(rate=rate, capacity=capacity, clock=VirtualClock())
+        granted = sum(1 for _ in range(burst_attempts) if limiter.try_acquire())
+        assert granted <= capacity + 1e-9
+        # ... and the full burst is actually available, not under-granted.
+        assert granted == min(burst_attempts, int(capacity))
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=50.0),
+        wait=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_refill_rate_honoured(self, rate, wait):
+        """After draining, exactly floor(rate*wait) whole tokens return."""
+        capacity = max(1.0, rate * wait + 1.0)
+        clock = VirtualClock()
+        limiter = RateLimiter(rate=rate, capacity=capacity, clock=clock)
+        while limiter.try_acquire():
+            pass  # drain below one token
+        leftover = limiter.available  # fractional remainder < 1.0
+        assert leftover < 1.0
+        clock.advance(wait)
+        expected = min(capacity, leftover + rate * wait)
+        granted = sum(1 for _ in range(int(capacity) + 2) if limiter.try_acquire())
+        assert granted == int(expected)
+
+    @given(
+        regression=st.floats(min_value=0.1, max_value=100.0),
+        rate=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_clock_regression_mints_no_tokens(self, regression, rate):
+        """A backwards clock step is zero elapsed time, not free tokens."""
+        clock = VirtualClock(start=200.0)
+        limiter = RateLimiter(rate=rate, capacity=2.0, clock=clock)
+        assert limiter.try_acquire() and limiter.try_acquire()
+        before = limiter.available
+        clock.advance(-regression)  # suspend/resume or virtual-clock rewind
+        assert limiter.available <= before + 1e-9
+        assert not limiter.try_acquire()
+        # Catching back up to the pre-regression time is NOT elapsed time:
+        # refill resumes only past the high-water mark.
+        clock.advance(regression)
+        assert not limiter.try_acquire()
+        clock.advance(1.0 / rate + 1e-3)
+        assert limiter.try_acquire()
+
+
+class TestEwmaSelectionProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        fast=st.floats(min_value=0.001, max_value=0.01),
+        slow_factor=st.floats(min_value=10.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_converges_to_faster_replica(self, seed, fast, slow_factor):
+        """A clearly faster replica wins the large majority of picks."""
+        balancer = LoadBalance(seed=seed)
+        balancer.record_latency(1, fast)
+        balancer.record_latency(2, fast * slow_factor)
+        picks = [balancer.select([1, 2]) for _ in range(200)]
+        # Power-of-two over two candidates compares the pair every time, so
+        # with no outstanding work the faster replica wins every pick.
+        assert picks.count(1) == 200
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        replicas=st.integers(min_value=2, max_value=8),
+        latency=st.floats(min_value=0.001, max_value=0.1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_starvation_among_equals(self, seed, replicas, latency):
+        """Equal replicas all receive traffic (random pair sampling)."""
+        balancer = LoadBalance(seed=seed)
+        candidates = list(range(1, replicas + 1))
+        for server in candidates:
+            balancer.record_latency(server, latency)
+        picks = [balancer.select(candidates) for _ in range(120 * replicas)]
+        assert set(picks) == set(candidates)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_outstanding_work_steers_away(self, seed):
+        """Equal EWMAs but queued work: the idle replica is chosen."""
+        balancer = LoadBalance(seed=seed)
+        balancer.record_latency(1, 0.01)
+        balancer.record_latency(2, 0.01)
+        with balancer._lock:
+            balancer._outstanding[1] = 5
+        assert all(balancer.select([1, 2]) == 2 for _ in range(50))

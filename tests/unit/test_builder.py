@@ -174,3 +174,105 @@ class TestDispatchPlanCache:
             .build()
         )
         assert spec is again
+
+
+class TestOverloadDeclarations:
+    """The builder's SLO surface (overload-protection stack)."""
+
+    def test_slo_assembles_the_admission_stack(self):
+        spec = (
+            QosBuilder()
+            .slo(slo_p99=0.25, max_inflight=32, shed_policy="low-priority-first")
+            .build()
+        )
+        assert [s.name for s in spec.client_specs] == ["DeadlineBudget"]
+        assert [s.name for s in spec.server_specs] == ["DeadlineShed", "AdmissionControl"]
+        budget = spec.client_specs[0]
+        assert budget.params == {"budget": 0.25}
+        admission = spec.server_specs[1]
+        assert admission.params["max_concurrent"] == 32
+        assert admission.params["deadline_aware"] is True
+        assert admission.params["exempt_high_priority"] is True
+
+    def test_full_overload_stack_composition_order(self):
+        spec = (
+            QosBuilder()
+            .slo(slo_p99=0.5, max_rate=100.0, burst=20.0)
+            .caching(read_operations=["get_balance"], ttl=0.2)
+            .load_balance(poll_interval=1.0, seed=3)
+            .build()
+        )
+        # DESIGN.md §12: budget -> cache -> balancer on the client,
+        # shed -> admission -> invalidator -> reporter on the server.
+        assert [s.name for s in spec.client_specs] == [
+            "DeadlineBudget",
+            "ClientCache",
+            "LoadBalance",
+        ]
+        assert [s.name for s in spec.server_specs] == [
+            "DeadlineShed",
+            "AdmissionControl",
+            "CacheInvalidator",
+            "LoadReporter",
+        ]
+
+    def test_slo_choices_are_part_of_the_plan_fingerprint(self):
+        plain = QosBuilder().build()
+        with_slo = QosBuilder().slo(max_inflight=8).build()
+        assert plain.fingerprint() != with_slo.fingerprint()
+        again = QosBuilder().slo(max_inflight=8).build()
+        assert with_slo is again  # sealed plan shared through the cache
+
+    def test_unknown_shed_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="shed_policy"):
+            QosBuilder().slo(shed_policy="coin-flip")
+
+    def test_deadline_shed_policy_requires_p99(self):
+        with pytest.raises(ConfigurationError, match="requires slo_p99"):
+            QosBuilder().slo(shed_policy="deadline")
+
+    def test_stale_while_shedding_requires_declared_slo(self):
+        with pytest.raises(ConfigurationError, match="slo"):
+            QosBuilder().caching(
+                read_operations=["get_balance"], stale_while_shedding=True
+            )
+
+
+class TestIncoherentOverloadCombos:
+    """The dispatch-plan validator statically rejects incoherent stacks
+    with actionable messages (what is wrong + what to change)."""
+
+    def test_cache_with_privacy_but_no_integrity(self):
+        with pytest.raises(ConfigurationError, match="add .integrity"):
+            (
+                QosBuilder()
+                .privacy(key_hex=KEY)
+                .caching(read_operations=["get_balance"])
+                .build()
+            )
+        # Adding the integrity protocol resolves it, as the message says.
+        spec = (
+            QosBuilder()
+            .privacy(key_hex=KEY)
+            .integrity(key_hex=KEY)
+            .caching(read_operations=["get_balance"])
+            .build()
+        )
+        assert "ClientCache" in [s.name for s in spec.client_specs]
+
+    def test_cache_bypasses_replication_guarantee(self):
+        with pytest.raises(ConfigurationError, match="bypassing the replication"):
+            (
+                QosBuilder()
+                .fault_tolerance("active", acceptance="vote")
+                .caching(read_operations=["get_balance"])
+                .build()
+            )
+
+    def test_balancer_conflicts_with_replication_assigners(self):
+        with pytest.raises(ConfigurationError, match="one assignment policy"):
+            QosBuilder().fault_tolerance("passive").load_balance().build()
+
+    def test_orphan_invalidator_rejected(self):
+        with pytest.raises(ConfigurationError, match="no cache to invalidate"):
+            QosBuilder().extra("server", "CacheInvalidator").build()

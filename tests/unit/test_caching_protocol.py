@@ -1,0 +1,274 @@
+"""Unit tests for the coherent caching pair (ClientCache / CacheInvalidator).
+
+The TTL tests drive a :class:`VirtualClock` through the composite runtime,
+so freshness is a pure function of virtual time — no sleeps, no flakes.
+The server-side tests pin the invalidation-epoch/delta algebra: what bumps
+the epoch, what each client-epoch gets piggybacked back, and when the
+bounded log degrades to "flush everything".
+"""
+
+import pytest
+
+from repro.cactus.composite import MicroProtocol
+from repro.cactus.runtime import CactusRuntime
+from repro.core.client import CactusClient
+from repro.core.request import PB_CACHE_EPOCH, PB_CACHE_INVALIDATE, Request
+from repro.core.server import CactusServer
+from repro.qos.extensions.caching import (
+    EV_CACHE_INVALIDATE,
+    CacheInvalidator,
+    ClientCache,
+)
+from repro.util.clock import VirtualClock
+from tests.unit.test_core_components import FakeClientPlatform, FakeServerPlatform
+
+
+@pytest.fixture
+def vclock():
+    return VirtualClock()
+
+
+def make_client(platform, cache, vclock):
+    return CactusClient.with_base(
+        platform,
+        [cache],
+        request_timeout=5.0,
+        runtime=CactusRuntime(clock=vclock, workers=4),
+    )
+
+
+def run(client, operation="echo", params=("v",)):
+    request = Request("obj", operation, list(params))
+    return client.cactus_request(request)
+
+
+class TestClientCacheVirtualTtl:
+    def test_ttl_expiry_is_clock_driven(self, vclock):
+        platform = FakeClientPlatform()
+        cache = ClientCache(read_operations=["echo"], ttl=1.0)
+        client = make_client(platform, cache, vclock)
+        try:
+            run(client)  # miss, populates at t=0
+            assert len(platform.invocations) == 1
+            run(client)  # hit: no virtual time has passed
+            assert len(platform.invocations) == 1
+            vclock.advance(0.5)
+            run(client)  # still fresh at t=0.5
+            assert len(platform.invocations) == 1 and cache.hits == 2
+            vclock.advance(0.6)  # t=1.1 > ttl: expired, real invocation
+            run(client)
+            assert len(platform.invocations) == 2
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+    def test_ttl_boundary_is_inclusive(self, vclock):
+        platform = FakeClientPlatform()
+        cache = ClientCache(read_operations=["echo"], ttl=1.0)
+        client = make_client(platform, cache, vclock)
+        try:
+            run(client)
+            vclock.advance(1.0)  # age == ttl exactly: still fresh
+            run(client)
+            assert len(platform.invocations) == 1
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+    def test_zero_ttl_caches_until_invalidated(self, vclock):
+        platform = FakeClientPlatform()
+        cache = ClientCache(read_operations=["echo"], ttl=0.0)
+        client = make_client(platform, cache, vclock)
+        try:
+            run(client)
+            vclock.advance(1_000_000.0)
+            run(client)
+            assert len(platform.invocations) == 1  # age is irrelevant
+            cache.invalidate("echo")
+            run(client)
+            assert len(platform.invocations) == 2
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+    def test_per_operation_invalidation_spares_other_entries(self, vclock):
+        platform = FakeClientPlatform()
+        cache = ClientCache(read_operations=["echo", "status"])
+        client = make_client(platform, cache, vclock)
+        try:
+            run(client, "echo", ("a",))
+            run(client, "echo", ("b",))
+            run(client, "status", ())
+            before = len(platform.invocations)
+            cache.invalidate("echo")  # both echo keys die, status survives
+            run(client, "status", ())
+            assert len(platform.invocations) == before
+            run(client, "echo", ("a",))
+            run(client, "echo", ("b",))
+            assert len(platform.invocations) == before + 2
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+
+class TestClientDeltaApplication:
+    def _cache(self, vclock):
+        platform = FakeClientPlatform()
+        cache = ClientCache(read_operations=["echo", "status"])
+        client = make_client(platform, cache, vclock)
+        run(client, "echo", ("a",))
+        run(client, "status", ())
+        return platform, cache, client
+
+    def test_per_op_delta_invalidates_named_reads_only(self, vclock):
+        platform, cache, client = self._cache(vclock)
+        try:
+            cache._apply_delta(1, [3, ["echo"]])
+            before = len(platform.invocations)
+            run(client, "status", ())  # untouched: still a hit
+            assert len(platform.invocations) == before
+            run(client, "echo", ("a",))  # invalidated: real invocation
+            assert len(platform.invocations) == before + 1
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+    def test_stale_epoch_delta_is_ignored(self, vclock):
+        platform, cache, client = self._cache(vclock)
+        try:
+            cache._apply_delta(1, [5, ["echo"]])
+            cache._apply_delta(1, [3, ["status"]])  # replayed older delta
+            before = len(platform.invocations)
+            run(client, "status", ())  # survives the replay
+            assert len(platform.invocations) == before
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+    def test_epochs_are_tracked_per_replica(self, vclock):
+        platform, cache, client = self._cache(vclock)
+        try:
+            cache._apply_delta(1, [5, ["echo"]])
+            # Replica 2 at epoch 3 is NOT behind replica 1 at epoch 5.
+            cache._apply_delta(2, [3, ["status"]])
+            before = len(platform.invocations)
+            run(client, "status", ())
+            assert len(platform.invocations) == before + 1
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+    def test_flush_all_delta_clears_everything(self, vclock):
+        platform, cache, client = self._cache(vclock)
+        try:
+            cache._apply_delta(1, [9, None])
+            before = len(platform.invocations)
+            run(client, "echo", ("a",))
+            run(client, "status", ())
+            assert len(platform.invocations) == before + 2
+        finally:
+            client.shutdown()
+            client.runtime.shutdown()
+
+
+class _InvalidationProbe(MicroProtocol):
+    """Records every cacheInvalidate occurrence the server raises."""
+
+    name = "InvalidationProbe"
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def start(self):
+        self.bind(EV_CACHE_INVALIDATE, self.record)
+
+    def record(self, occurrence):
+        self.seen.append(tuple(occurrence.args))
+
+
+class TestCacheInvalidator:
+    def make_server(self, **kwargs):
+        probe = _InvalidationProbe()
+        invalidator = CacheInvalidator(read_operations=["echo"], **kwargs)
+        server = CactusServer.with_base(
+            FakeServerPlatform(), [invalidator, probe], request_timeout=5.0
+        )
+        return server, invalidator, probe
+
+    def invoke(self, server, operation, client_epoch=None):
+        request = Request("obj", operation, ["v"] if operation == "echo" else [])
+        if client_epoch is not None:
+            request.piggyback[PB_CACHE_EPOCH] = client_epoch
+        server.cactus_invoke(request)
+        return request
+
+    def test_reads_do_not_bump_epoch(self):
+        server, invalidator, probe = self.make_server()
+        try:
+            self.invoke(server, "echo")
+            assert invalidator.epoch() == 0 and probe.seen == []
+        finally:
+            server.shutdown()
+            server.runtime.shutdown()
+
+    def test_writes_bump_epoch_and_raise_event(self):
+        server, invalidator, probe = self.make_server()
+        try:
+            self.invoke(server, "poke")
+            self.invoke(server, "poke")
+            assert invalidator.epoch() == 2
+            assert probe.seen == [(1, None), (2, None)]
+        finally:
+            server.shutdown()
+            server.runtime.shutdown()
+
+    def test_current_client_gets_no_delta(self):
+        server, invalidator, probe = self.make_server()
+        try:
+            self.invoke(server, "poke")
+            request = self.invoke(server, "echo", client_epoch=1)
+            assert PB_CACHE_INVALIDATE not in request.reply_piggyback
+        finally:
+            server.shutdown()
+            server.runtime.shutdown()
+
+    def test_behind_client_gets_targeted_delta(self):
+        server, invalidator, probe = self.make_server(
+            invalidates={"poke": ["echo"]}
+        )
+        try:
+            self.invoke(server, "poke")
+            request = self.invoke(server, "echo", client_epoch=0)
+            assert request.reply_piggyback[PB_CACHE_INVALIDATE] == [1, ["echo"]]
+            assert probe.seen == [(1, frozenset({"echo"}))]
+        finally:
+            server.shutdown()
+            server.runtime.shutdown()
+
+    def test_unmapped_write_invalidates_nothing(self):
+        server, invalidator, probe = self.make_server(invalidates={"poke": ["echo"]})
+        try:
+            self.invoke(server, "nudge")  # not in the invalidates map
+            assert invalidator.epoch() == 0 and probe.seen == []
+        finally:
+            server.shutdown()
+            server.runtime.shutdown()
+
+    def test_client_behind_bounded_log_gets_flush_all(self):
+        server, invalidator, probe = self.make_server(
+            invalidates={"poke": ["echo"]}, log_size=2
+        )
+        try:
+            for _ in range(4):
+                self.invoke(server, "poke")
+            # Log remembers epochs [3, 4]; a client at epoch 1 is too far
+            # behind to reconstruct, so it must flush everything.
+            request = self.invoke(server, "echo", client_epoch=1)
+            assert request.reply_piggyback[PB_CACHE_INVALIDATE] == [4, None]
+            # A client at epoch 2 is exactly reconstructable from the log.
+            request = self.invoke(server, "echo", client_epoch=2)
+            assert request.reply_piggyback[PB_CACHE_INVALIDATE] == [4, ["echo"]]
+        finally:
+            server.shutdown()
+            server.runtime.shutdown()
