@@ -28,10 +28,21 @@ Throughput/marshalling results go to ``BENCH_PR2.json``.  Exit status is
 non-zero if 8-client TCP multiplexing fails to beat the 8-client
 serialized baseline — the CI smoke gate.
 
+PR 7 adds the **execution-engine comparison** (``--engine async``): the
+threaded mux path against the asyncio engine (event-loop framing + adaptive
+outbound batching, ``TcpNetwork(engine="async")``) on the same closed-loop
+scenarios plus a 16-client echo cell, and the async engine's batching
+counters (frames per flush — the syscall-amortization evidence).  Results
+go to ``BENCH_PR7.json``; the CI gate requires async ≥ threaded on the
+echo workload at 16 concurrent clients, the regime where the demux
+strategy dominates (8 clients sits at the crossover and is recorded,
+not gated).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/throughput.py [--smoke] [--out PATH]
         [--conversion-out PATH] [--conversion-only]
+        [--engine async] [--engine-out PATH]
 """
 
 from __future__ import annotations
@@ -232,6 +243,121 @@ def _sample_arguments(operation, compiled) -> list:
     return samples
 
 
+# -- execution-engine comparison (PR 7) --------------------------------------
+
+ENGINES = ("threaded", "async")
+
+
+def run_engine_bench(calls_per_client: int, repeats: int) -> dict:
+    """Threaded vs asyncio engine on the mux wire format, same scenarios.
+
+    Each cell is best-of-``repeats`` (fresh network per run, so engine
+    runtimes never share state).  Repeats are interleaved across engines —
+    threaded run 1, async run 1, threaded run 2, ... — so machine-load
+    drift during the bench hits both engines equally instead of biasing
+    whichever ran last.  Async rows carry the network's cumulative batching
+    counters — frames per flush > 1 is the syscall reduction adaptive
+    batching buys on that scenario.
+    """
+    cells = [(1, "echo"), (1, "work"), (8, "echo"), (8, "work"), (16, "echo")]
+    best_by_cell: dict[tuple, dict] = {}
+    batching_by_cell: dict[tuple, dict | None] = {}
+    for _ in range(repeats):
+        for clients, variant in cells:
+            for engine in ENGINES:
+                cell = (engine, clients, variant)
+                network = TcpNetwork(multiplex=True, engine=engine)
+                try:
+                    # Warmup: thread/loop spin-up, connection setup, and
+                    # inline-promotion streaks all settle before timing.
+                    run_scenario(
+                        network,
+                        clients=clients,
+                        calls_per_client=max(20, calls_per_client // 10),
+                        variant=variant,
+                    )
+                    row = run_scenario(
+                        network,
+                        clients=clients,
+                        calls_per_client=calls_per_client,
+                        variant=variant,
+                    )
+                    stats = network.batch_stats()
+                finally:
+                    network.close()
+                held = best_by_cell.get(cell)
+                if held is None or row["rps"] > held["rps"]:
+                    best_by_cell[cell] = row
+                    batching_by_cell[cell] = stats
+    rows = []
+    for engine in ENGINES:
+        for clients, variant in cells:
+            cell = (engine, clients, variant)
+            best = best_by_cell[cell]
+            batching = batching_by_cell[cell]
+            best["network"] = "tcp"
+            best["mode"] = "mux"
+            best["engine"] = engine
+            if batching is not None:
+                best["batching"] = batching
+            rows.append(best)
+            extra = ""
+            if batching is not None and batching.get("frames_per_flush"):
+                extra = f"  {batching['frames_per_flush']} frames/flush"
+            print(
+                f"engine {engine:>8} {clients:>2}c {variant:>4}: "
+                f"{best['rps']:>9} rps  p50 {best['p50_ms']} ms  "
+                f"p99 {best['p99_ms']} ms{extra}"
+            )
+
+    def rps_of(engine: str, clients: int, variant: str) -> float:
+        return next(
+            r["rps"]
+            for r in rows
+            if r["engine"] == engine
+            and r["clients"] == clients
+            and r["variant"] == variant
+        )
+
+    async_echo_16c = rps_of("async", 16, "echo")
+    threaded_echo_16c = rps_of("threaded", 16, "echo")
+    async_batching_16c_echo = next(
+        r.get("batching")
+        for r in rows
+        if (r["engine"], r["clients"], r["variant"]) == ("async", 16, "echo")
+    )
+    summary = {
+        # The gated scenario: echo at 16 concurrent clients, the regime
+        # where the demultiplexing strategy dominates — the threaded
+        # leader/follower handoff degrades as waiters grow while the
+        # event-loop engine keeps scaling.  8 clients sits at the
+        # crossover (parity within runner noise) and is recorded but not
+        # gated.
+        "threaded_echo_16c_rps": threaded_echo_16c,
+        "async_echo_16c_rps": async_echo_16c,
+        "async_vs_threaded_echo_16c": (
+            round(async_echo_16c / threaded_echo_16c, 2) if threaded_echo_16c else None
+        ),
+        "async_vs_threaded_echo_8c": round(
+            rps_of("async", 8, "echo") / rps_of("threaded", 8, "echo"), 2
+        ),
+        "async_vs_threaded_work_8c": round(
+            rps_of("async", 8, "work") / rps_of("threaded", 8, "work"), 2
+        ),
+        "async_vs_threaded_echo_1c": round(
+            rps_of("async", 1, "echo") / rps_of("threaded", 1, "echo"), 2
+        ),
+        # Syscall-amortization evidence: frames coalesced per transport
+        # write on the gated scenario (1.0 would mean no batching).
+        "async_frames_per_flush_16c_echo": (
+            async_batching_16c_echo.get("frames_per_flush")
+            if async_batching_16c_echo
+            else None
+        ),
+    }
+    return {"results": rows, "summary": summary}
+
+
 # -- conversion overhead (PR 3: paper Table 1 analogue) ----------------------
 
 CONVERSION_PLATFORMS = ("corba", "rmi", "http")
@@ -340,11 +466,48 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the per-platform conversion-overhead benchmark",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        help="run the execution-engine comparison (threaded vs async) only",
+    )
+    parser.add_argument(
+        "--engine-out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
+        help="engine-comparison output JSON path",
+    )
     options = parser.parse_args(argv)
 
     calls_per_client = 40 if options.smoke else 400
     marshal_iterations = 500 if options.smoke else 20000
     conversion_calls = 60 if options.smoke else 2000
+
+    if options.engine is not None:
+        # Longer runs than the generic smoke settings: the engine gate
+        # compares two implementations on a shared runner, so each cell
+        # must outlast scheduler noise (sub-0.1s runs flip the verdict).
+        engine_calls = 300 if options.smoke else 1000
+        engine_repeats = 3 if options.smoke else 4
+        engine = run_engine_bench(engine_calls, engine_repeats)
+        report = {
+            "bench": "engine-pr7",
+            "smoke": options.smoke,
+            "calls_per_client": engine_calls,
+            "repeats": engine_repeats,
+            **engine,
+        }
+        Path(options.engine_out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {options.engine_out}")
+        summary = engine["summary"]
+        print(
+            f"async/threaded echo@16c: {summary['async_vs_threaded_echo_16c']}x  "
+            f"echo@8c: {summary['async_vs_threaded_echo_8c']}x  "
+            f"({summary['async_frames_per_flush_16c_echo']} frames/flush)"
+        )
+        if summary["async_echo_16c_rps"] < summary["threaded_echo_16c_rps"]:
+            print("FAIL: async engine below the threaded baseline on echo@16clients")
+            return 1
+        return 0
 
     conversion = run_conversion_bench(conversion_calls)
     for row in conversion["results"]:

@@ -72,6 +72,32 @@ CONTROL_OPERATION = "__cqos__"
 CONTROL_PING = "ping"
 
 
+def assert_blocking_safe(what: str) -> None:
+    """Fail loudly if a blocking wait is about to run *on* an event loop.
+
+    The async transport engine executes servants on its executor precisely
+    so they may block; code that nevertheless ends up on the loop thread —
+    a user calling a blocking stub from inside an ``asyncio`` coroutine, or
+    a mis-marked handler promoted inline — would deadlock the entire
+    network the moment it waits for a reply that needs that same loop.
+    Guarding the wait sites turns that silent hang into an immediate
+    :class:`~repro.util.errors.ConfigurationError` naming the offender.
+    """
+    import asyncio
+
+    from repro.util.errors import ConfigurationError
+
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        return
+    raise ConfigurationError(
+        f"{what} would block inside a running event loop; blocking CQoS "
+        "calls must run on a worker thread (the async engine's servant "
+        "executor does this automatically for marked handlers)"
+    )
+
+
 # -- observers ----------------------------------------------------------------
 
 

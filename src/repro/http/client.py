@@ -32,8 +32,8 @@ class HttpClient:
     def _connection(self, address: str) -> Connection:
         return self._pool.get(address)
 
-    def drop_connection(self, address: str) -> None:
-        self._pool.drop(address)
+    def drop_connection(self, address: str, connection: Connection | None = None) -> None:
+        self._pool.drop(address, connection)
 
     def post(
         self,
@@ -60,7 +60,7 @@ class HttpClient:
         try:
             frame = connection.call(format_request(request), timeout=timeout)
         except CommunicationError:
-            self.drop_connection(address)
+            self.drop_connection(address, connection)
             raise
         response = parse_response(frame)
         if response.status == 200:

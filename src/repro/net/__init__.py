@@ -25,10 +25,11 @@ Both expose the same shape: ``network.host(name)`` returns a
 request/reply exchanges, the only primitive the middleware layers need.
 """
 
-from repro.net.transport import Connection, Host, Listener, Network
+from repro.net.transport import Connection, Host, Listener, Network, blocking_handler
 from repro.net.memory import InMemoryNetwork
 from repro.net.pool import ConnectionPool
 from repro.net.tcp import TcpNetwork
+from repro.net.aio import AsyncTcpNetwork
 from repro.net.chaos import ChaosNetwork, ChaosStats, FaultPlan
 
 __all__ = [
@@ -39,7 +40,9 @@ __all__ = [
     "ConnectionPool",
     "InMemoryNetwork",
     "TcpNetwork",
+    "AsyncTcpNetwork",
     "ChaosNetwork",
     "ChaosStats",
     "FaultPlan",
+    "blocking_handler",
 ]

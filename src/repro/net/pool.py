@@ -59,11 +59,26 @@ class ConnectionPool:
             evicted.close()
         return connection
 
-    def drop(self, address: str) -> None:
-        """Invalidate ``address`` (e.g. after a peer crash); idempotent."""
+    def drop(self, address: str, connection: Connection | None = None) -> None:
+        """Invalidate ``address`` (e.g. after a peer crash); idempotent.
+
+        When ``connection`` is given, the pooled entry is evicted only if it
+        *is* that connection.  This closes an ABA race under concurrent
+        checkout: a caller whose call failed on an old connection must not
+        evict the fresh replacement another caller just opened against the
+        recovered server.
+        """
+        stale: Connection | None = None
         with self._lock:
-            connection = self._connections.pop(address, None)
-        if connection is not None:
+            pooled = self._connections.get(address)
+            if pooled is not None and (connection is None or pooled is connection):
+                del self._connections[address]
+                stale = pooled
+        if stale is not None:
+            stale.close()
+        elif connection is not None:
+            # Not pooled (already evicted or replaced): still close the
+            # failed connection the caller is holding.
             connection.close()
 
     def close(self) -> None:

@@ -25,6 +25,12 @@ Crash injection closes the host's server sockets and refuses new accepts
 until :meth:`TcpNetwork.recover`, at which point the same listeners re-open
 on the same logical addresses (new ports, re-resolved through the name
 table) — enough fidelity for failover tests.
+
+Execution engines: this module implements the **threaded** engine (the
+measured baseline).  ``TcpNetwork(engine="async")`` — or ``CQOS_ENGINE=async``
+in the environment — selects the event-loop sibling in :mod:`repro.net.aio`:
+same v2 wire bytes, same Connection/Listener contracts, single-loop framing
+with adaptive outbound batching instead of leader/follower threads.
 """
 
 from __future__ import annotations
@@ -38,9 +44,11 @@ import struct
 import threading
 import time
 
+from repro.net.framing import FRAME_HEADER, LEN_HEADER, MAX_FRAME
 from repro.net.transport import Connection, FrameHandler, Host, Listener, Network, split_address
 from repro.util.errors import (
     CommunicationError,
+    ConfigurationError,
     FrameTooLargeError,
     ServerFailedError,
     TimeoutError_,
@@ -49,10 +57,15 @@ from repro.util.log import get_logger
 
 logger = get_logger("net.tcp")
 
-_LEN = struct.Struct(">I")
-#: v2 frame header: payload length + correlation (request) id.
-_HDR2 = struct.Struct(">IQ")
-_MAX_FRAME = 64 * 1024 * 1024
+#: Environment default for :class:`TcpNetwork`'s ``engine`` argument.
+ENGINE_ENV = "CQOS_ENGINE"
+_ENGINES = ("threaded", "async")
+
+# The wire format itself lives in repro.net.framing (shared with the async
+# engine); these aliases keep this module's historical names working.
+_LEN = LEN_HEADER
+_HDR2 = FRAME_HEADER
+_MAX_FRAME = MAX_FRAME
 
 #: Per-connection server worker pool size for multiplexed dispatch.
 _SERVER_WORKERS = max(4, min(16, 2 * (os.cpu_count() or 1)))
@@ -680,7 +693,14 @@ class _TcpHost(Host):
         # listen() calls on one address cannot both pass a resolve() check.
         self._network._claim(address)
         try:
-            listener = _TcpListener(self._network, self.name, service, handler)
+            if self._network.engine == "async":
+                from repro.net.aio import AsyncTcpListener
+
+                listener: Listener = AsyncTcpListener(
+                    self._network, self.name, service, handler
+                )
+            else:
+                listener = _TcpListener(self._network, self.name, service, handler)
         except BaseException:
             self._network._release(address)
             raise
@@ -689,6 +709,12 @@ class _TcpHost(Host):
 
     def connect(self, address: str) -> Connection:
         split_address(address)
+        if self._network.engine == "async":
+            from repro.net.aio import AsyncMuxConnection
+
+            return AsyncMuxConnection(
+                self._network, address, self._network._engine_runtime(self.name)
+            )
         if self._network.multiplex:
             return _TcpMuxConnection(self._network, address)
         return _TcpConnection(self._network, address)
@@ -701,18 +727,75 @@ class TcpNetwork(Network):
     concurrent in-flight calls per connection (default), or the v1
     one-in-flight protocol kept as the benchmark baseline.  Both ends of a
     network share the flag, so framing always matches.
+
+    ``engine`` selects the concurrency machinery under the v2 format:
+    ``"threaded"`` (this module — leader/follower client demux, thread-per-
+    connection server) or ``"async"`` (:mod:`repro.net.aio` — one event loop
+    with adaptive outbound batching, servants on a bounded executor).  The
+    default comes from ``CQOS_ENGINE`` in the environment, falling back to
+    threaded.  The async engine requires the multiplexed wire format.
     """
 
-    def __init__(self, multiplex: bool = True) -> None:
+    def __init__(self, multiplex: bool = True, engine: str | None = None) -> None:
+        if engine is None:
+            engine = os.environ.get(ENGINE_ENV, "threaded") or "threaded"
+            if engine == "async" and not multiplex:
+                # The environment variable sets a session default, not a
+                # mandate: the serialized v1 wire format has no event-loop
+                # implementation, so it keeps the threaded engine.
+                engine = "threaded"
+        if engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown TCP engine {engine!r}; expected one of {_ENGINES}"
+            )
+        if engine == "async" and not multiplex:
+            raise ConfigurationError(
+                "the async engine requires the multiplexed (v2) wire format"
+            )
         # The name table is mutated from listener open/suspend paths that run
         # on accept/recovery threads and read from every client call: all
         # access goes through the locked helpers below.
         self.multiplex = multiplex
+        self.engine = engine
+        # One AsyncEngineRuntime per logical host, created lazily: each
+        # host gets its own event loop (as separate processes would), so
+        # the client and server ends of a link pipeline in parallel.
+        self._aio: dict[str, object] = {}
         self._resolve_table: dict[str, int] = {}
         self._claimed: set[str] = set()
         self._hosts: dict[str, _TcpHost] = {}
-        self._listeners: dict[str, list[_TcpListener]] = {}
+        self._listeners: dict[str, list[Listener]] = {}
         self._lock = threading.Lock()
+
+    def _engine_runtime(self, host_name: str):
+        """The :class:`~repro.net.aio.AsyncEngineRuntime` for one host."""
+        with self._lock:
+            runtime = self._aio.get(host_name)
+            if runtime is None:
+                from repro.net.aio import AsyncEngineRuntime
+
+                runtime = AsyncEngineRuntime(name=f"cqos-aio-{host_name}")
+                self._aio[host_name] = runtime
+            return runtime
+
+    def batch_stats(self) -> dict | None:
+        """Outbound batching counters summed over every host's runtime
+        (async engine only; None when no runtime exists)."""
+        with self._lock:
+            runtimes = list(self._aio.values())
+        if not runtimes:
+            return None
+        totals = {"frames_out": 0, "flushes": 0, "bytes_out": 0}
+        for runtime in runtimes:
+            stats = runtime.batch_stats()
+            for key in totals:
+                totals[key] += stats[key]
+        totals["frames_per_flush"] = (
+            round(totals["frames_out"] / totals["flushes"], 3)
+            if totals["flushes"]
+            else None
+        )
+        return totals
 
     # -- name table (lock-guarded) ----------------------------------------
 
@@ -752,11 +835,11 @@ class TcpNetwork(Network):
                 self._hosts[name] = existing
             return existing
 
-    def _track_listener(self, host_name: str, listener: _TcpListener) -> None:
+    def _track_listener(self, host_name: str, listener: Listener) -> None:
         with self._lock:
             self._listeners.setdefault(host_name, []).append(listener)
 
-    def _drop_listener(self, listener: _TcpListener) -> None:
+    def _drop_listener(self, listener: Listener) -> None:
         with self._lock:
             for listeners in self._listeners.values():
                 if listener in listeners:
@@ -783,3 +866,7 @@ class TcpNetwork(Network):
             self._claimed.clear()
         for listener in all_listeners:
             listener.close()
+        with self._lock:
+            runtimes, self._aio = list(self._aio.values()), {}
+        for runtime in runtimes:
+            runtime.shutdown()

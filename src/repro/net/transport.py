@@ -18,6 +18,24 @@ from typing import Callable
 FrameHandler = Callable[[bytes], bytes]
 
 
+def blocking_handler(func):
+    """Mark a frame handler as potentially blocking.
+
+    The asyncio engine (:mod:`repro.net.aio`) never promotes a marked
+    handler to inline-on-the-event-loop execution: it always runs on the
+    servant executor.  Middleware endpoints carry this mark because their
+    servants may block arbitrarily (request.wait, replica forwarding) — a
+    block on the loop thread would stall every connection of the network.
+
+    Apply at class-definition time (above a ``_handle_frame`` method) or to
+    a plain function; bound methods forward attribute lookup to the
+    underlying function, so the mark survives ``self._handle_frame``.  The
+    threaded engine ignores the mark entirely.
+    """
+    func.cqos_blocking = True
+    return func
+
+
 class Connection(ABC):
     """A client-side handle for blocking request/reply exchanges."""
 

@@ -17,35 +17,20 @@ truncated frames fail loudly instead of mis-decoding.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.serialization.cdr import CdrInputStream, CdrOutputStream
+from repro.serialization.streams import acquire_output_stream, release_output_stream
 from repro.util.errors import MarshalError
 
-# Encoders reuse one output stream per thread instead of allocating a fresh
-# bytearray per message; the in-use flag falls back to a private stream if an
-# encode ever nests inside another (e.g. a value type whose registry encoder
-# itself marshals), so reuse is purely an optimization, never a correctness
-# assumption.
-_tls = threading.local()
-
-
-def _borrow_stream() -> tuple[CdrOutputStream, bool]:
-    if getattr(_tls, "in_use", False):
-        return CdrOutputStream(), False
-    out = getattr(_tls, "stream", None)
-    if out is None:
-        out = _tls.stream = CdrOutputStream()
-    _tls.in_use = True
-    out.reset()
-    return out, True
-
-
-def _return_stream(shared: bool) -> None:
-    if shared:
-        _tls.in_use = False
+# Encoders reuse pooled output streams instead of allocating a fresh
+# bytearray per message.  The pool uses explicit acquire/release (see
+# repro.serialization.streams) rather than the earlier thread-local slot:
+# each marshal owns its stream for exactly the encode's duration, which
+# stays correct when the async engine interleaves many logical requests on
+# one event-loop thread.  Nested encodes (a value type whose registry
+# encoder itself marshals) simply acquire a second stream.
 
 _MAGIC = b"GIOP"
 _VERSION = 1
@@ -98,7 +83,7 @@ def _check_header(stream: CdrInputStream) -> int:
 
 
 def encode_request(message: RequestMessage) -> bytes:
-    out, shared = _borrow_stream()
+    out = acquire_output_stream()
     try:
         _header(out, MSG_REQUEST)
         out.write_ulong(message.request_id)
@@ -116,11 +101,11 @@ def encode_request(message: RequestMessage) -> bytes:
         out.write_any(message.context)
         return out.getvalue()
     finally:
-        _return_stream(shared)
+        release_output_stream(out)
 
 
 def encode_reply(message: ReplyMessage) -> bytes:
-    out, shared = _borrow_stream()
+    out = acquire_output_stream()
     try:
         _header(out, MSG_REPLY)
         out.write_ulong(message.request_id)
@@ -133,7 +118,7 @@ def encode_reply(message: ReplyMessage) -> bytes:
             out.write_any(message.body)
         return out.getvalue()
     finally:
-        _return_stream(shared)
+        release_output_stream(out)
 
 
 def decode_message(frame: bytes) -> RequestMessage | ReplyMessage:

@@ -24,7 +24,7 @@ from typing import Any
 
 from repro.idl.compiler import CompiledIdl, IdlRemoteException
 from repro.net.pool import ConnectionPool
-from repro.net.transport import Connection, Network
+from repro.net.transport import Connection, Network, blocking_handler
 from repro.orb import giop
 from repro.orb.dii import DiiRequest
 from repro.orb.dsi import ServerRequest
@@ -148,9 +148,14 @@ class Orb:
     def _connection(self, address: str) -> Connection:
         return self._pool.get(address)
 
-    def drop_connection(self, address: str) -> None:
-        """Forget a pooled connection (e.g. after a peer crash)."""
-        self._pool.drop(address)
+    def drop_connection(self, address: str, connection: Connection | None = None) -> None:
+        """Forget a pooled connection (e.g. after a peer crash).
+
+        Passing the failed ``connection`` evicts only that instance — a
+        replacement another caller already pooled survives (see
+        :meth:`repro.net.pool.ConnectionPool.drop`).
+        """
+        self._pool.drop(address, connection)
 
     def invoke(
         self,
@@ -220,7 +225,7 @@ class Orb:
         try:
             reply_frame = connection.call(frame, timeout=timeout)
         except CommunicationError:
-            self.drop_connection(ior.address)
+            self.drop_connection(ior.address, connection)
             raise
         reply = giop.decode_message(reply_frame)
         if not isinstance(reply, giop.ReplyMessage):
@@ -238,6 +243,9 @@ class Orb:
 
     # -- server side -------------------------------------------------------------
 
+    # Servant dispatch can block (request.wait, replica forwarding): the
+    # async engine must keep it off the event loop.
+    @blocking_handler
     def _handle_frame(self, frame: bytes) -> bytes:
         message = giop.decode_message(frame)
         if not isinstance(message, giop.RequestMessage):

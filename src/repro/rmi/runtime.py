@@ -22,7 +22,7 @@ from typing import Any, Protocol, runtime_checkable
 
 from repro.idl.compiler import CompiledIdl, IdlRemoteException, InterfaceDef
 from repro.net.pool import ConnectionPool
-from repro.net.transport import Connection, Network
+from repro.net.transport import Connection, Network, blocking_handler
 from repro.rmi import jrmp
 from repro.serialization.registry import global_registry
 from repro.util.errors import (
@@ -158,8 +158,8 @@ class RmiRuntime:
     def _connection(self, address: str) -> Connection:
         return self._pool.get(address)
 
-    def drop_connection(self, address: str) -> None:
-        self._pool.drop(address)
+    def drop_connection(self, address: str, connection: Connection | None = None) -> None:
+        self._pool.drop(address, connection)
 
     def call(
         self,
@@ -184,7 +184,7 @@ class RmiRuntime:
         try:
             reply_frame = connection.call(frame, timeout=timeout)
         except CommunicationError:
-            self.drop_connection(ref.address)
+            self.drop_connection(ref.address, connection)
             raise
         reply = jrmp.decode(reply_frame)
         if not isinstance(reply, jrmp.ReturnMessage):
@@ -200,6 +200,9 @@ class RmiRuntime:
 
     # -- server side ----------------------------------------------------------
 
+    # Servant dispatch can block (request.wait, replica forwarding): the
+    # async engine must keep it off the event loop.
+    @blocking_handler
     def _handle_frame(self, frame: bytes) -> bytes:
         message = jrmp.decode(frame)
         if not isinstance(message, jrmp.CallMessage):

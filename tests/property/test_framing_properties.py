@@ -1,0 +1,185 @@
+"""Property tests for the v2 framing / batch-flush wire-bytes invariant.
+
+The async engine's batcher coalesces outbound frames by pure concatenation,
+and the incremental decoder is chunk-agnostic, so the load-bearing
+invariants are algebraic:
+
+- any grouping of frames into batches concatenates to exactly the bytes of
+  the unbatched per-frame encoding (sender-side invariant);
+- any re-chunking of that byte stream decodes to the identical
+  ``(request_id, payload)`` sequence (receiver-side invariant);
+- a real :class:`~repro.net.aio.FrameBatcher` driven through arbitrary
+  interleavings of sends, idle flushes, linger expiries, and size-threshold
+  crossings emits writes whose concatenation is again exactly the
+  unbatched encoding — frames straddling flush boundaries included.
+
+Together these make sender-side batching invisible to the receiver, which
+is what lets the two engines interoperate bit-identically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.aio import FrameBatcher
+from repro.net.framing import FrameDecoder, encode_frame
+
+frames_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.binary(max_size=200),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+def _chunkify(data: bytes, cut_points: list[int]) -> list[bytes]:
+    """Split ``data`` at the (normalized) cut points."""
+    cuts = sorted({min(c, len(data)) for c in cut_points})
+    chunks = []
+    previous = 0
+    for cut in cuts:
+        chunks.append(data[previous:cut])
+        previous = cut
+    chunks.append(data[previous:])
+    return chunks
+
+
+@given(frames=frames_strategy, data=st.data())
+def test_any_batch_grouping_is_byte_identical_to_unbatched(frames, data):
+    unbatched = b"".join(encode_frame(rid, payload) for rid, payload in frames)
+    # Partition the frame list into arbitrary consecutive batches.
+    batches: list[bytes] = []
+    index = 0
+    while index < len(frames):
+        size = data.draw(st.integers(min_value=1, max_value=len(frames) - index))
+        group = frames[index : index + size]
+        batches.append(b"".join(encode_frame(rid, p) for rid, p in group))
+        index += size
+    assert b"".join(batches) == unbatched
+
+
+@given(frames=frames_strategy, data=st.data())
+def test_any_rechunking_decodes_to_the_same_frames(frames, data):
+    stream = b"".join(encode_frame(rid, payload) for rid, payload in frames)
+    cut_points = data.draw(
+        st.lists(st.integers(min_value=0, max_value=max(len(stream), 1)), max_size=30)
+    )
+    decoder = FrameDecoder()
+    decoded: list[tuple[int, bytes]] = []
+    for chunk in _chunkify(stream, cut_points):
+        decoded.extend(decoder.feed(chunk))
+    assert decoded == frames
+    assert decoder.buffered == 0
+
+
+@given(frames=frames_strategy)
+def test_single_byte_feeding_decodes_identically(frames):
+    stream = b"".join(encode_frame(rid, payload) for rid, payload in frames)
+    decoder = FrameDecoder()
+    decoded: list[tuple[int, bytes]] = []
+    for i in range(len(stream)):
+        decoded.extend(decoder.feed(stream[i : i + 1]))
+    assert decoded == frames
+
+
+class _FakeHandle:
+    def __init__(self, loop, callback):
+        self._loop = loop
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+        if self in self._loop.ready:
+            self._loop.ready.remove(self)
+        if self in self._loop.timers:
+            self._loop.timers.remove(self)
+
+
+class _FakeLoop:
+    """Just enough of an event loop to drive FrameBatcher deterministically."""
+
+    def __init__(self):
+        self.ready: list[_FakeHandle] = []
+        self.timers: list[_FakeHandle] = []
+
+    def call_soon(self, callback, *args):
+        handle = _FakeHandle(self, lambda: callback(*args))
+        self.ready.append(handle)
+        return handle
+
+    def call_later(self, _delay, callback, *args):
+        handle = _FakeHandle(self, lambda: callback(*args))
+        self.timers.append(handle)
+        return handle
+
+    def run_one(self, queue: list[_FakeHandle]) -> bool:
+        if not queue:
+            return False
+        handle = queue.pop(0)
+        if not handle.cancelled:
+            handle.callback()
+        return True
+
+    def drain(self):
+        while self.run_one(self.ready) or self.run_one(self.timers):
+            pass
+
+
+class _FakeTransport:
+    def __init__(self):
+        self.writes: list[bytes] = []
+
+    def write(self, data):
+        self.writes.append(bytes(data))
+
+
+class _FakeRuntime:
+    frames_out = 0
+    flushes = 0
+    bytes_out = 0
+
+
+@settings(max_examples=60)
+@given(
+    frames=frames_strategy,
+    max_bytes=st.integers(min_value=1, max_value=600),
+    schedule=st.lists(st.sampled_from(["send", "idle", "timer"]), max_size=60),
+)
+def test_frame_batcher_interleavings_preserve_wire_bytes(frames, max_bytes, schedule):
+    """Arbitrary send/idle-flush/linger interleavings → identical wire bytes.
+
+    ``max_bytes`` small enough forces size-threshold flushes mid-batch, so
+    frames straddle batch boundaries; running idle callbacks and linger
+    timers at arbitrary points exercises every flush path.
+    """
+    loop = _FakeLoop()
+    transport = _FakeTransport()
+    runtime = _FakeRuntime()
+    batcher = FrameBatcher(loop, transport, runtime, linger=0.0002, max_bytes=max_bytes)
+    pending = list(frames)
+    for action in schedule:
+        if action == "send" and pending:
+            rid, payload = pending.pop(0)
+            batcher.send(rid, payload)
+        elif action == "idle":
+            loop.run_one(loop.ready)
+        elif action == "timer":
+            loop.run_one(loop.timers)
+    for rid, payload in pending:  # send whatever the schedule didn't cover
+        batcher.send(rid, payload)
+    loop.drain()  # let every outstanding idle/linger callback fire
+
+    wire = b"".join(transport.writes)
+    assert wire == b"".join(encode_frame(rid, p) for rid, p in frames)
+    # And the receiver reconstructs the exact frame sequence.
+    decoder = FrameDecoder()
+    decoded: list[tuple[int, bytes]] = []
+    for chunk in transport.writes:
+        decoded.extend(decoder.feed(chunk))
+    assert decoded == frames
+    # Accounting matches what actually hit the transport.
+    assert runtime.frames_out == len(frames)
+    assert runtime.bytes_out == len(wire)
+    assert runtime.flushes == len(transport.writes)

@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.net import framing as framing_mod
 from repro.net import tcp as tcp_mod
 from repro.net.tcp import TcpNetwork
 from repro.util.errors import CommunicationError, FrameTooLargeError, ServerFailedError
@@ -112,6 +113,7 @@ class TestFrameLimits:
         assert conn.call(b"warm") == b"warm"
         # Shrink the limit instead of allocating 64 MiB in a unit test.
         monkeypatch.setattr(tcp_mod, "_MAX_FRAME", 1024)
+        monkeypatch.setattr(framing_mod, "MAX_FRAME", 1024)
         with pytest.raises(CommunicationError):
             conn.call(b"x" * 2048)
         # FrameTooLargeError is a CommunicationError, so the retry
@@ -126,6 +128,7 @@ class TestFrameLimits:
         net.host("server").listen("big", lambda d: b"y" * 4096)
         conn = net.host("client").connect("server/big")
         monkeypatch.setattr(tcp_mod, "_MAX_FRAME", 1024)
+        monkeypatch.setattr(framing_mod, "MAX_FRAME", 1024)
         with pytest.raises(CommunicationError):
             conn.call(b"x", timeout=5.0)
         conn.close()
