@@ -11,6 +11,10 @@ sharing ONE transport connection, across:
   (~0.5 ms of servant CPU per call — the regime where multiplexing lets the
   server overlap requests instead of serializing them behind the wire).
 
+Request payloads are drawn from the seeded zipfian generator in
+:mod:`benchmarks.workloads` (PR 8) — the same skewed key mix the routing
+benchmark replays — at a fixed 64-byte wire size.
+
 Also runs a marshalling micro-benchmark: the compiled per-signature plan
 (:mod:`repro.serialization.compiled`) against the recursive
 :func:`~repro.orb.typed_marshal.write_typed` tree walk for one
@@ -57,10 +61,28 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from workloads import zipf_sequence  # noqa: E402
+
 from repro.net.memory import InMemoryNetwork  # noqa: E402
 from repro.net.tcp import TcpNetwork  # noqa: E402
 
 WORK_SECONDS = 0.0005  # ~0.5 ms of blocking servant work per "work" call
+
+#: Distinct payload keys the zipfian request mix draws from (PR 8: the
+#: closed-loop scenarios share the seeded generator with the routing bench
+#: so both harnesses replay the same skewed key distribution).
+PAYLOAD_KEYS = 256
+PAYLOAD_BYTES = 64
+
+
+def _zipf_payloads(slot: int, count: int) -> list[bytes]:
+    """Per-client deterministic zipfian payload sequence (fixed wire size)."""
+    return [
+        b"%06d" % key + b"x" * (PAYLOAD_BYTES - 6)
+        for key in zipf_sequence(PAYLOAD_KEYS, count, seed=slot)
+    ]
 
 
 def echo_handler(frame: bytes) -> bytes:
@@ -86,7 +108,6 @@ def run_scenario(
     listener = server.listen("bench", handler)
     client_host = network.host("client")
     connection = client_host.connect("server/bench")
-    payload = b"x" * 64
     latencies: list[list[float]] = [[] for _ in range(clients)]
     errors: list[BaseException] = []
     start_barrier = threading.Barrier(clients + 1)
@@ -94,8 +115,9 @@ def run_scenario(
     def client_loop(slot: int) -> None:
         times = latencies[slot]
         try:
+            payloads = _zipf_payloads(slot, calls_per_client)
             start_barrier.wait()
-            for _ in range(calls_per_client):
+            for payload in payloads:
                 t0 = time.perf_counter()
                 reply = connection.call(payload, timeout=30.0)
                 times.append(time.perf_counter() - t0)

@@ -1,0 +1,83 @@
+"""Seeded synthetic workload generators shared by the benchmarks (PR 8).
+
+Real object spaces are not accessed uniformly: a few objects take most of
+the traffic.  Both the routing benchmark (:mod:`benchmarks.routing`) and
+the throughput harness (:mod:`benchmarks.throughput`) draw their key
+sequences from here so every run is reproducible (explicit seed, no global
+RNG state) and both harnesses stress the same distribution shapes:
+
+- :func:`zipf_sequence` — Zipf(s) over ``n_keys`` ranks via a precomputed
+  CDF and :func:`bisect.bisect` (O(log n) per draw, no scipy);
+- :func:`hot_key_sequence` — a two-tier hot/cold split: ``hot_fraction``
+  of the keys receive ``hot_weight`` of the traffic, uniform within each
+  tier — the cache-adversarial "everything hits one shard" shape.
+
+Keys are ranks ``0..n_keys-1`` (rank 0 is the hottest); map them to object
+ids or payloads at the call site.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Iterator
+
+
+def zipf_cdf(n_keys: int, skew: float = 1.1) -> list[float]:
+    """The cumulative distribution of Zipf(``skew``) over ``n_keys`` ranks."""
+    if n_keys < 1:
+        raise ValueError("n_keys must be >= 1")
+    weights = [1.0 / (rank ** skew) for rank in range(1, n_keys + 1)]
+    total = sum(weights)
+    cdf: list[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cdf.append(acc / total)
+    return cdf
+
+
+def zipf_iter(n_keys: int, skew: float = 1.1, seed: int = 0) -> Iterator[int]:
+    """An endless seeded stream of Zipf-distributed ranks."""
+    cdf = zipf_cdf(n_keys, skew)
+    rng = random.Random(seed)
+    while True:
+        yield bisect.bisect(cdf, rng.random())
+
+
+def zipf_sequence(
+    n_keys: int, count: int, skew: float = 1.1, seed: int = 0
+) -> list[int]:
+    """``count`` Zipf-distributed ranks in ``0..n_keys-1`` (deterministic)."""
+    return list(itertools.islice(zipf_iter(n_keys, skew, seed), count))
+
+
+def hot_key_sequence(
+    n_keys: int,
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    seed: int = 0,
+) -> list[int]:
+    """``count`` ranks where ``hot_fraction`` of keys get ``hot_weight`` of hits.
+
+    The hot tier is the lowest ranks (consistent with :func:`zipf_sequence`:
+    rank 0 is always the hottest key).  With one key the entire stream is
+    that key.
+    """
+    if n_keys < 1:
+        raise ValueError("n_keys must be >= 1")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be in [0, 1]")
+    hot_count = max(1, int(n_keys * hot_fraction))
+    rng = random.Random(seed)
+    out: list[int] = []
+    for _ in range(count):
+        if hot_count >= n_keys or rng.random() < hot_weight:
+            out.append(rng.randrange(hot_count))
+        else:
+            out.append(rng.randrange(hot_count, n_keys))
+    return out

@@ -94,6 +94,7 @@ class CorbaServerPlatform(_CorbaNamingMixin, BaseServerPlatform):
         interface: InterfaceDef,
         total_replicas: int = 1,
         observers=None,
+        router=None,
     ):
         self._orb = orb
         self._naming = naming_client(orb)
@@ -104,6 +105,7 @@ class CorbaServerPlatform(_CorbaNamingMixin, BaseServerPlatform):
             StaticSkeleton(servant, interface, orb.compiled),
             total_replicas=total_replicas,
             observers=observers,
+            router=router,
         )
 
     def _peer_name(self, replica: int) -> str:
@@ -116,11 +118,18 @@ class CorbaServerPlatform(_CorbaNamingMixin, BaseServerPlatform):
 class CorbaClientPlatform(_CorbaNamingMixin, BaseClientPlatform):
     """Client-side Cactus QoS interface implementation on the ORB."""
 
-    def __init__(self, orb: Orb, object_id: str, use_dii: bool = True, observers=None):
+    def __init__(
+        self,
+        orb: Orb,
+        object_id: str,
+        use_dii: bool = True,
+        observers=None,
+        router=None,
+    ):
         self._orb = orb
         self._use_dii = use_dii
         self._naming = naming_client(orb)
-        super().__init__(object_id, observers=observers)
+        super().__init__(object_id, observers=observers, router=router)
 
     def _replica_name(self, replica: int) -> str:
         return corba_replica_name(self.object_id, replica)
@@ -149,6 +158,7 @@ def install_corba_replica(
     cactus_server_factory=None,
     total_replicas: int = 1,
     observers=None,
+    router=None,
 ) -> CqosSkeleton:
     """Install the CQoS server side for one replica on an ORB.
 
@@ -169,6 +179,7 @@ def install_corba_replica(
         interface,
         total_replicas=total_replicas,
         observers=observers,
+        router=router,
     )
     cactus_server: CactusServer | None = None
     if cactus_server_factory is not None:

@@ -85,6 +85,7 @@ class HttpServerPlatform(_HttpRegistryMixin, BaseServerPlatform):
         interface: InterfaceDef,
         total_replicas: int = 1,
         observers=None,
+        router=None,
     ):
         self._server = server
         self._client = client
@@ -95,6 +96,7 @@ class HttpServerPlatform(_HttpRegistryMixin, BaseServerPlatform):
             StaticSkeleton(servant, interface, server.compiled),
             total_replicas=total_replicas,
             observers=observers,
+            router=router,
         )
 
     def _peer_name(self, replica: int) -> str:
@@ -110,10 +112,11 @@ class HttpClientPlatform(_HttpRegistryMixin, BaseClientPlatform):
         registry: HttpRegistryClient,
         object_id: str,
         observers=None,
+        router=None,
     ):
         self._client = client
         self._registry = registry
-        super().__init__(object_id, observers=observers)
+        super().__init__(object_id, observers=observers, router=router)
 
     def _replica_name(self, replica: int) -> str:
         return http_replica_name(self.object_id, replica)
@@ -133,10 +136,16 @@ def install_http_replica(
     cactus_server_factory=None,
     total_replicas: int = 1,
     observers=None,
+    router=None,
+    skeleton_id: str | None = None,
 ) -> CqosSkeleton:
     """Mount the CQoS skeleton for one replica and register its path.
 
     ``observers`` as in :func:`~repro.core.adapters.corba.install_corba_replica`.
+    ``skeleton_id`` overrides the mount id (default: the historical
+    ``"<OID>_CQoS_Skeleton"``) — sharded deployments mounting several
+    logical replicas of one object on one server need distinct ids; the
+    registry *name* stays the unchanged ``"<OID>/replica-<i>"`` either way.
     """
     platform = HttpServerPlatform(
         server,
@@ -148,12 +157,13 @@ def install_http_replica(
         interface,
         total_replicas=total_replicas,
         observers=observers,
+        router=router,
     )
     cactus_server: CactusServer | None = None
     if cactus_server_factory is not None:
         cactus_server = cactus_server_factory(platform)
     skeleton = CqosSkeleton(object_id, platform, cactus_server)
-    skeleton_id = http_skeleton_object_id(object_id)
+    skeleton_id = skeleton_id or http_skeleton_object_id(object_id)
     server.mount_generic(skeleton_id, HttpCqosSkeletonServant(skeleton, observers=observers))
     registry.rebind(
         http_replica_name(object_id, replica), server.endpoint_address, skeleton_id

@@ -83,6 +83,7 @@ class RmiServerPlatform(_RmiRegistryMixin, BaseServerPlatform):
         interface: InterfaceDef,
         total_replicas: int = 1,
         observers=None,
+        router=None,
     ):
         self._runtime = runtime
         self._registry = registry_client(runtime)
@@ -92,6 +93,7 @@ class RmiServerPlatform(_RmiRegistryMixin, BaseServerPlatform):
             StaticSkeleton(servant, interface, runtime.compiled),
             total_replicas=total_replicas,
             observers=observers,
+            router=router,
         )
 
     def _peer_name(self, replica: int) -> str:
@@ -101,10 +103,10 @@ class RmiServerPlatform(_RmiRegistryMixin, BaseServerPlatform):
 class RmiClientPlatform(_RmiRegistryMixin, BaseClientPlatform):
     """Client-side Cactus QoS interface implementation on RMI."""
 
-    def __init__(self, runtime: RmiRuntime, object_id: str, observers=None):
+    def __init__(self, runtime: RmiRuntime, object_id: str, observers=None, router=None):
         self._runtime = runtime
         self._registry = registry_client(runtime)
-        super().__init__(object_id, observers=observers)
+        super().__init__(object_id, observers=observers, router=router)
 
     def _replica_name(self, replica: int) -> str:
         return rmi_skeleton_name(self.object_id, replica)
@@ -122,6 +124,7 @@ def install_rmi_replica(
     cactus_server_factory=None,
     total_replicas: int = 1,
     observers=None,
+    router=None,
 ) -> CqosSkeleton:
     """Install the CQoS server side for one replica on an RMI runtime.
 
@@ -138,6 +141,7 @@ def install_rmi_replica(
         interface,
         total_replicas=total_replicas,
         observers=observers,
+        router=router,
     )
     cactus_server: CactusServer | None = None
     if cactus_server_factory is not None:

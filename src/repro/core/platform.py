@@ -13,7 +13,10 @@ Kernel pieces:
 
 - :class:`ReplicaDirectory` — naming-convention strategy + lazy bind +
   lock-guarded liveness marks, shared by client platforms and the replica
-  control plane;
+  control plane.  The class now lives in :mod:`repro.core.routing`
+  (re-exported here): replica discovery consults a
+  :class:`~repro.core.routing.ShardRouter` view when one is attached and
+  falls back to the historical prefix enumeration otherwise;
 - :class:`BaseClientPlatform` / :class:`BaseServerPlatform` /
   :class:`BaseSkeletonServant` — own the request lifecycle on each side;
   subclasses supply only name formatting, name resolution, and the wire
@@ -39,7 +42,7 @@ from __future__ import annotations
 import re
 import threading
 from abc import abstractmethod
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from repro.core.interfaces import ClientPlatform, ServerPlatform
 from repro.core.request import (
@@ -53,14 +56,18 @@ from repro.core.request import (
     PB_PRIORITY,
     PB_REQUEST_ID,
     PB_SIGNATURE,
+    PB_VIEW_DELTA,
+    PB_VIEW_VERSION,
     Request,
 )
+from repro.core.routing import ReplicaDirectory, ShardRouter
 from repro.serialization.jser import jser_dumps, jser_loads
 from repro.util.errors import (
     AdmissionRejectedError,
     BindError,
     CommunicationError,
     ServerFailedError,
+    ShardMovedError,
     is_retryable,
 )
 
@@ -238,6 +245,8 @@ PIGGYBACK_CODEC.declare(PB_DEADLINE, "absolute deadline on the shared monotonic 
 PIGGYBACK_CODEC.declare(PB_ATTEMPT, "send-attempt number stamped by retry protocols")
 PIGGYBACK_CODEC.declare(PB_CACHE_EPOCH, "last cache-invalidation epoch seen by the client")
 PIGGYBACK_CODEC.declare(PB_CACHE_INVALIDATE, "reply-direction invalidation delta (epoch, ops)")
+PIGGYBACK_CODEC.declare(PB_VIEW_VERSION, "directory-view version the client routed with")
+PIGGYBACK_CODEC.declare(PB_VIEW_DELTA, "reply-direction directory-view delta (piggyback pull)")
 
 
 # -- reply-direction piggyback envelope ---------------------------------------
@@ -315,125 +324,10 @@ def fault_action(error: BaseException | None) -> str:
 
 
 # -- replica directory --------------------------------------------------------
-
-
-class ReplicaDirectory:
-    """Replica-number → endpoint directory with lazy binding and liveness.
-
-    "The interface allows the server replicas to be referred to by numbers
-    (1..N) rather than by application or middleware specific identifiers."
-    The directory owns that mapping for one target object: the platform's
-    naming convention (``name_for``) formats the per-replica name, the
-    resolver turns the name into an opaque endpoint (IOR reference, remote
-    ref, HTTP address pair), and the directory caches endpoints, tracks
-    lock-guarded failure marks, and counts replicas by prefix enumeration.
-
-    Resolution failures that are not communication errors (a name simply not
-    bound — each platform's bootstrap service reports this differently) are
-    normalized to :class:`~repro.util.errors.BindError` so ``bind()`` has one
-    observable failure mode on every platform.
-    """
-
-    def __init__(
-        self,
-        name_for: Callable[[int], str],
-        resolve: Callable[[str], Any],
-        list_names: Callable[[str], list] | None = None,
-        prefix: str | None = None,
-    ):
-        self._name_for = name_for
-        self._resolve = resolve
-        self._list_names = list_names
-        self._prefix = prefix
-        self._lock = threading.Lock()
-        self._endpoints: dict[int, Any] = {}
-        self._failed: set[int] = set()
-        self._count: int | None = None
-
-    def _resolve_name(self, replica: int) -> Any:
-        name = self._name_for(replica)
-        try:
-            return self._resolve(name)
-        except CommunicationError:
-            raise  # the bootstrap service itself is unreachable
-        except BindError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - platform-specific "not bound"
-            raise BindError(f"cannot resolve {name!r}: {exc}") from exc
-
-    def bind(self, replica: int) -> None:
-        """(Re-)bind ``replica``: clear its failure mark, resolve lazily.
-
-        Also the recovery path: "the bind() operation can also be used to
-        rebind to a failed server after it has recovered."
-        """
-        with self._lock:
-            bound = replica in self._endpoints
-            self._failed.discard(replica)  # rebinding clears failure knowledge
-        if bound:
-            return
-        endpoint = self._resolve_name(replica)
-        with self._lock:
-            self._endpoints[replica] = endpoint
-
-    def endpoint(self, replica: int) -> Any:
-        """The (lazily bound) endpoint for ``replica``."""
-        with self._lock:
-            endpoint = self._endpoints.get(replica)
-        if endpoint is not None:
-            return endpoint
-        endpoint = self._resolve_name(replica)
-        with self._lock:
-            self._endpoints[replica] = endpoint
-            return self._endpoints[replica]
-
-    def drop(self, replica: int) -> None:
-        """Forget the cached endpoint (next use re-resolves/reconnects)."""
-        with self._lock:
-            self._endpoints.pop(replica, None)
-
-    def mark_failed(self, replica: int) -> None:
-        """Record the replica as down and drop its binding."""
-        with self._lock:
-            self._failed.add(replica)
-            self._endpoints.pop(replica, None)
-
-    def status(self, replica: int) -> bool:
-        """True while the replica is not marked failed (local knowledge)."""
-        with self._lock:
-            return replica not in self._failed
-
-    def failed_replicas(self) -> set[int]:
-        with self._lock:
-            return set(self._failed)
-
-    def apply_fault(self, replica: int, error: BaseException) -> str:
-        """React to a platform fault per the shared taxonomy; returns the action."""
-        action = fault_action(error)
-        if action == ACTION_MARK_FAILED:
-            self.mark_failed(replica)
-        elif action == ACTION_DROP_BINDING:
-            self.drop(replica)
-        return action
-
-    def count(self) -> int:
-        """Replica count by prefix enumeration (cached; at least 1)."""
-        if self._list_names is None or self._prefix is None:
-            raise BindError("directory was built without an enumeration strategy")
-        with self._lock:
-            if self._count is not None:
-                return self._count
-        found = len(self._list_names(self._prefix))
-        with self._lock:
-            self._count = max(found, 1)
-            return self._count
-
-    def refresh(self) -> None:
-        """Drop every binding, failure mark, and the cached count."""
-        with self._lock:
-            self._endpoints.clear()
-            self._failed.clear()
-            self._count = None
+#
+# ReplicaDirectory moved to repro.core.routing.directory (the routing layer
+# owns replica discovery now); imported above and re-exported here, its
+# historical home, so existing imports keep working.
 
 
 # -- client platform base ------------------------------------------------------
@@ -454,16 +348,31 @@ class BaseClientPlatform(ClientPlatform):
     - ``_list_names(prefix)`` — bootstrap-service enumeration;
     - ``_send(endpoint, operation, params, piggyback)`` — convert the
       abstract request into one platform request and invoke it.
+
+    ``router`` attaches a :class:`~repro.core.routing.ShardRouter`: replica
+    counts/ids then come from its directory view (consulted on every
+    bind/rebind), requests are view-stamped, and reply-piggybacked view
+    deltas are pulled automatically.  Without one, an unsharded router is
+    created and the platform behaves exactly as before (prefix-scan
+    discovery, no view stamp — wire bytes unchanged).
     """
 
-    def __init__(self, object_id: str, observers: Iterable[InvocationObserver] | None = None):
+    def __init__(
+        self,
+        object_id: str,
+        observers: Iterable[InvocationObserver] | None = None,
+        router: ShardRouter | None = None,
+    ):
         self.object_id = object_id
         self.observers: list[InvocationObserver] = list(observers or ())
+        self.router = router if router is not None else ShardRouter()
         self.directory = ReplicaDirectory(
             name_for=self._replica_name,
             resolve=self._resolve,
             list_names=self._list_names,
             prefix=self._replica_prefix(),
+            router=self.router,
+            object_id=object_id,
         )
 
     def add_observer(self, observer: InvocationObserver) -> None:
@@ -496,6 +405,10 @@ class BaseClientPlatform(ClientPlatform):
     def num_servers(self) -> int:
         return self.directory.count()
 
+    def server_ids(self) -> tuple[int, ...]:
+        """The logical replica numbers (possibly sparse under sharding)."""
+        return self.directory.replica_ids()
+
     def refresh(self) -> None:
         """Drop cached bindings and replica count (re-discover on next use)."""
         self.directory.refresh()
@@ -515,11 +428,42 @@ class BaseClientPlatform(ClientPlatform):
             alive = False
         if not alive:
             self.directory.mark_failed(server)
+        else:
+            # "probe() rebinds": a successful probe of a replica previously
+            # marked failed reinstates it (bind clears the failure mark).
+            self.directory.bind(server)
         return alive
 
+    #: How many shard-handoff redirects one invocation will follow.  Each
+    #: ShardMovedError is a guarantee the servant did NOT execute, so the
+    #: transparent resend is exactly-once safe; the bound only stops a
+    #: pathological rebalance storm from looping forever.
+    SHARD_REDIRECT_LIMIT = 3
+
     def invoke_server(self, server: int, request: Request) -> Any:
+        for redirect in range(self.SHARD_REDIRECT_LIMIT + 1):
+            try:
+                return self._invoke_server_once(server, request)
+            except ShardMovedError:
+                # The retired old owner refused without executing; its
+                # binding was already dropped by the fault taxonomy, so the
+                # next attempt re-resolves the (re-registered) naming entry
+                # and lands on the new owner.
+                if redirect == self.SHARD_REDIRECT_LIMIT:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _invoke_server_once(self, server: int, request: Request) -> Any:
         self.directory.bind(server)
         endpoint = self.directory.endpoint(server)
+        # In-flight invocations pin the view they routed with: during a
+        # shard handoff this attempt completes against the old view while
+        # new binds route to the new owner (zero-drop rebalancing).  The
+        # view stamp rides piggyback only on sharded deployments, so
+        # unsharded wire bytes are untouched.
+        lease = self.router.lease() if self.router.sharded else None
+        if lease is not None:
+            request.piggyback[PB_VIEW_VERSION] = lease.view.version
         notify_observers(self.observers, "on_wire_send", request, server)
         try:
             value = self._send(
@@ -532,9 +476,17 @@ class BaseClientPlatform(ClientPlatform):
             self.directory.apply_fault(server, exc)
             notify_observers(self.observers, "on_wire_failure", request, server, exc)
             raise
+        finally:
+            if lease is not None:
+                lease.release()
         value, reply_piggyback = unwrap_reply_value(value)
         if reply_piggyback:
             request.reply_piggyback.update(reply_piggyback)
+            delta = reply_piggyback.get(PB_VIEW_DELTA)
+            if delta is not None and not self.router.apply_delta(delta):
+                # Delta not applicable (history evicted / base mismatch):
+                # fall back to bootstrap re-enumeration.
+                self.refresh()
         notify_observers(self.observers, "on_wire_reply", request, server, value)
         return value
 
@@ -561,12 +513,16 @@ class BaseServerPlatform(ServerPlatform):
         dispatch: Any,
         total_replicas: int = 1,
         observers: Iterable[InvocationObserver] | None = None,
+        router: ShardRouter | None = None,
     ):
         self.object_id = object_id
         self._replica = replica
         self._total = total_replicas
         self._dispatch = dispatch
         self.observers: list[InvocationObserver] = list(observers or ())
+        #: The authoritative ShardRouter of a sharded deployment (None when
+        #: unsharded): the skeleton serves piggyback view deltas from it.
+        self.router = router
         self.peers = ReplicaDirectory(name_for=self._peer_name, resolve=self._resolve)
 
     def add_observer(self, observer: InvocationObserver) -> None:

@@ -54,6 +54,14 @@ PB_CACHE_EPOCH = "cqos_cache_epoch"
 #: by CacheInvalidator into ``Request.reply_piggyback``; ``[epoch, None]``
 #: means "too far behind, flush everything".
 PB_CACHE_INVALIDATE = "cqos_cache_invalidate"
+#: The directory-view version the client routed this request with.  Only
+#: stamped when the client's ShardRouter holds a sharded view, so unsharded
+#: deployments keep byte-identical wire traffic.
+PB_VIEW_VERSION = "cqos_view_version"
+#: Reply-direction view delta staged by the skeleton when the client's
+#: stamped view version is behind the server's: the piggyback pull path of
+#: membership-driven view changes (bootstrap re-enumeration is the fallback).
+PB_VIEW_DELTA = "cqos_view_delta"
 
 
 @dataclass

@@ -1,0 +1,58 @@
+"""The partitioned directory: consistent-hash routing over server groups.
+
+The paper's prototype finds an object's replicas by naming-convention
+prefix scans — each client platform enumerates ``"<OID>/replica-"`` in the
+bootstrap service and counts the hits.  That is fine for the paper's
+3-replica experiments and fatal for thousands of objects: every client
+pays one enumeration per object, the enumeration cost grows with the whole
+name table, and nothing relates *where* an object's replicas live to any
+policy (RAFDA's argument: distribution policy must be separable from
+application logic and changeable per object).
+
+This package is the replacement routing layer, platform-agnostic by
+construction (importing an adapter package here is a layering violation,
+machine-checked by ``tools/check_layering.py``):
+
+- :class:`HashRing` — a consistent-hash ring of virtual nodes over server
+  *groups* (``CQOS_VNODES`` per group); adding or removing one group remaps
+  only the keys that land on its arcs;
+- :class:`DirectoryView` / :class:`ServerGroup` / :class:`Placement` — one
+  immutable, versioned snapshot of the whole object space (groups, ring,
+  failure knowledge, per-object placement policies).  Views are
+  copy-on-write: every change produces a new snapshot with a bumped
+  version, so readers are lock-free — the same discipline as the compiled
+  event-dispatch binding snapshots;
+- :class:`ShardRouter` — the mutable cell holding the current view.  The
+  invocation kernel consults it on every bind/rebind; in-flight
+  invocations pin the view they routed with (:meth:`ShardRouter.lease`),
+  which is what makes live rebalancing drop zero requests: old leases
+  drain against the old view while new binds route to the new owner;
+- :class:`ReplicaDirectory` — the kernel's replica-number → endpoint
+  directory, now router-aware: replica counts and ids come from the view
+  when one is present (one view serves thousands of objects), with the
+  historical prefix-enumeration as the bootstrap fallback for unsharded
+  deployments — whose naming entries and wire bytes stay byte-identical.
+"""
+
+from repro.core.routing.directory import ReplicaDirectory
+from repro.core.routing.ring import DEFAULT_VNODES, HashRing, stable_hash
+from repro.core.routing.router import ShardRouter, ViewLease
+from repro.core.routing.view import (
+    PLACEMENT_POLICIES,
+    DirectoryView,
+    Placement,
+    ServerGroup,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "DirectoryView",
+    "HashRing",
+    "PLACEMENT_POLICIES",
+    "Placement",
+    "ReplicaDirectory",
+    "ServerGroup",
+    "ShardRouter",
+    "ViewLease",
+    "stable_hash",
+]

@@ -1,0 +1,249 @@
+"""The shard router: one mutable cell of routing knowledge per process side.
+
+The router holds the current :class:`~repro.core.routing.view.DirectoryView`
+and is what the invocation kernel consults on every bind/rebind:
+
+- **reads are lock-free** — ``view()`` is one attribute read of an
+  immutable snapshot; ``route()`` resolves an object's logical replica
+  numbers against it;
+- **writers are serialized** — ``apply()`` installs a strictly
+  newer-versioned view (view versions are monotonic by construction; a
+  regression is a programming error and raises);
+- **in-flight invocations pin their view** — ``lease()`` returns a
+  context-managed :class:`ViewLease` counting the invocation against the
+  version it routed with.  During a rebalance the old version's lease
+  count drains to zero while new leases land on the new view; the drain
+  callbacks are how the deployment knows the old owner may retire.  This
+  is the zero-dropped-requests discipline;
+- **clients pull deltas via piggyback** — a server stamps
+  ``delta_since(client_version)`` onto the reply envelope; the client
+  feeds it to ``apply_delta()``.  A delta that cannot be applied (history
+  evicted, base version mismatch without a full view) returns ``False``
+  and the caller falls back to bootstrap re-enumeration.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.core.routing.view import DirectoryView
+
+#: How many past view wire-forms the router keeps for incremental deltas.
+DELTA_HISTORY = 32
+
+
+class ViewLease:
+    """A pinned view for one in-flight invocation (context manager)."""
+
+    __slots__ = ("router", "view", "_released")
+
+    def __init__(self, router: "ShardRouter", view: DirectoryView):
+        self.router = router
+        self.view = view
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self.router._release(self.view.version)
+
+    def __enter__(self) -> "ViewLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class ShardRouter:
+    """Holds the current directory view; readers lock-free, writers locked."""
+
+    def __init__(self, view: DirectoryView | None = None):
+        self._view = view if view is not None else DirectoryView()
+        self._lock = threading.Lock()
+        self._inflight: dict[int, int] = {}
+        self._drained: dict[int, list[Callable[[int], None]]] = {}
+        self._history: dict[int, dict] = {self._view.version: self._view.to_wire()}
+        self._subscribers: list[Callable[[DirectoryView], None]] = []
+        self._stats = {
+            "routes": 0,
+            "view_changes": 0,
+            "deltas_served": 0,
+            "deltas_applied": 0,
+            "delta_fallbacks": 0,
+            "leases": 0,
+        }
+
+    # -- lock-free read side ---------------------------------------------------
+
+    def view(self) -> DirectoryView:
+        """The current immutable view (one attribute read, no lock)."""
+        return self._view
+
+    @property
+    def sharded(self) -> bool:
+        return self._view.sharded
+
+    def route(self, object_id: str) -> tuple[int, ...]:
+        """The logical replica numbers serving ``object_id`` right now."""
+        view = self._view
+        self._stats["routes"] += 1
+        return view.replicas_for(object_id)
+
+    def live_replicas(self, object_id: str) -> tuple[int, ...]:
+        """``route()`` minus replicas hosted on failed members (may be empty)."""
+        view = self._view
+        if not view.sharded:
+            return view.replicas_for(object_id)
+        failed = view.failed
+        return tuple(
+            logical
+            for logical, member in view.assignments(object_id)
+            if member not in failed
+        )
+
+    # -- leases (in-flight pinning) --------------------------------------------
+
+    def lease(self) -> ViewLease:
+        """Pin the current view for one in-flight invocation."""
+        with self._lock:
+            view = self._view
+            self._inflight[view.version] = self._inflight.get(view.version, 0) + 1
+            self._stats["leases"] += 1
+        return ViewLease(self, view)
+
+    def _release(self, version: int) -> None:
+        callbacks: list[Callable[[int], None]] = []
+        with self._lock:
+            count = self._inflight.get(version, 0) - 1
+            if count > 0:
+                self._inflight[version] = count
+            else:
+                self._inflight.pop(version, None)
+                if version < self._view.version:
+                    callbacks = self._drained.pop(version, [])
+        for callback in callbacks:
+            callback(version)
+
+    def inflight(self, version: int | None = None) -> int:
+        """Lease count for ``version`` (or every retired version when None)."""
+        with self._lock:
+            if version is not None:
+                return self._inflight.get(version, 0)
+            current = self._view.version
+            return sum(
+                count for v, count in self._inflight.items() if v < current
+            )
+
+    def on_drained(self, version: int, callback: Callable[[int], None]) -> None:
+        """Run ``callback(version)`` when the retired ``version`` has no
+        leases left; immediate when it is already drained (or still current —
+        then it fires on the retirement that drains it)."""
+        with self._lock:
+            if version >= self._view.version or self._inflight.get(version, 0) > 0:
+                self._drained.setdefault(version, []).append(callback)
+                return
+        callback(version)
+
+    # -- write side ------------------------------------------------------------
+
+    def apply(self, view: DirectoryView) -> DirectoryView:
+        """Install a strictly newer view; returns it.
+
+        Version regressions raise — views are monotonic by construction
+        (every builder bumps), so an older version here means two writers
+        raced outside the router, which is a bug to surface, not mask.
+        """
+        callbacks: list[tuple[Callable[[int], None], int]] = []
+        with self._lock:
+            current = self._view
+            if view.version <= current.version:
+                raise ValueError(
+                    f"view version must increase (current {current.version}, "
+                    f"got {view.version})"
+                )
+            self._view = view
+            self._stats["view_changes"] += 1
+            self._history[view.version] = view.to_wire()
+            while len(self._history) > DELTA_HISTORY:
+                del self._history[min(self._history)]
+            # Versions retired with no leases drain immediately.
+            for version, waiters in list(self._drained.items()):
+                if version < view.version and self._inflight.get(version, 0) == 0:
+                    del self._drained[version]
+                    callbacks.extend((callback, version) for callback in waiters)
+            subscribers = list(self._subscribers)
+        for callback, version in callbacks:
+            callback(version)
+        for subscriber in subscribers:
+            subscriber(view)
+        return view
+
+    def subscribe(self, callback: Callable[[DirectoryView], None]) -> None:
+        """Run ``callback(new_view)`` after every view change."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def apply_membership_change(self, failed: Iterable[int]) -> DirectoryView:
+        """Record the failure detector's new failed set (bumps the version)."""
+        with self._lock:
+            current = self._view
+        updated = current.with_failed(failed)
+        if updated is current:
+            return current
+        return self.apply(updated)
+
+    # -- piggyback deltas --------------------------------------------------------
+
+    def delta_since(self, version: int) -> dict | None:
+        """The wire delta bringing a client at ``version`` current, or None."""
+        view = self._view
+        if version >= view.version:
+            return None
+        with self._lock:
+            base = self._history.get(version)
+            current_wire = self._history.get(view.version) or view.to_wire()
+            self._stats["deltas_served"] += 1
+        if base is None:
+            # History evicted: ship the full view.
+            return {"from": version, "to": view.version, "view": current_wire}
+        changes = {
+            key: value
+            for key, value in current_wire.items()
+            if key != "version" and base.get(key) != value
+        }
+        return {"from": version, "to": view.version, "changes": changes}
+
+    def apply_delta(self, delta: dict) -> bool:
+        """Apply a piggyback-pulled delta; False → fall back to bootstrap.
+
+        Stale deltas (``to`` not newer than the current version) are
+        swallowed successfully — replies may arrive reordered.
+        """
+        with self._lock:
+            current = self._view
+        to_version = int(delta["to"])
+        if to_version <= current.version:
+            return True
+        if "view" in delta:
+            new_view = DirectoryView.from_wire(delta["view"])
+        elif int(delta["from"]) == current.version:
+            wire = current.to_wire()
+            wire.update(delta["changes"])
+            wire["version"] = to_version
+            new_view = DirectoryView.from_wire(wire)
+        else:
+            self._stats["delta_fallbacks"] += 1
+            return False
+        try:
+            self.apply(new_view)
+        except ValueError:
+            return True  # lost a race to a newer view — still current
+        self._stats["deltas_applied"] += 1
+        return True
+
+    # -- stats -------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._stats, version=self._view.version)

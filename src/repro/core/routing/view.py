@@ -1,0 +1,309 @@
+"""Versioned immutable directory views: the unit of routing knowledge.
+
+A :class:`DirectoryView` is one copy-on-write snapshot of the whole object
+space: the server groups and their members, the consistent-hash ring over
+the groups, the failed-member set the failure detector last reported, and
+the per-object :class:`Placement` policies.  Every mutation returns a new
+view with ``version + 1`` — readers (the invocation hot path) take one
+attribute read and never a lock, the same discipline as the compiled
+event-dispatch binding snapshots.
+
+Placement resolves an object id to ``(logical_replica, member)`` pairs.
+The *logical* replica numbers are what the QoS layer sees (the paper's
+"replicas referred to by numbers 1..N"); the *member* is the physical
+server slot the deployment mounts the replica on.  Clients never need the
+member — the bootstrap naming entry ``"<OID>/replica-<i>"`` keeps mapping
+logical numbers to endpoints, which is why sharding changes neither the
+naming conventions nor a single wire byte for unsharded deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.routing.ring import HashRing, stable_hash
+from repro.util.errors import ConfigurationError
+
+#: Placement policies:
+#: - ``"ring"``    — all replicas packed into the owner group (overflowing
+#:   clockwise into successor groups when the owner is too small): minimal
+#:   inter-group traffic, one group failure can take the whole object;
+#: - ``"spread"``  — one replica per distinct group walking clockwise from
+#:   the owner: fault-domain isolation at the cost of cross-group hops;
+#: - ``"pinned"``  — replicas on explicitly named groups, for objects with
+#:   data-locality or jurisdiction constraints the ring must not override.
+PLACEMENT_POLICIES = ("ring", "spread", "pinned")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Per-object distribution policy (a QoS attribute, RAFDA-style)."""
+
+    replication_factor: int = 1
+    policy: str = "ring"
+    #: Target groups for ``policy="pinned"`` (must be empty otherwise).
+    groups: tuple[str, ...] = ()
+    #: Optional explicit logical replica numbers (sparse id spaces legal);
+    #: empty means the contiguous ``1..replication_factor``.
+    logical_ids: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.policy not in PLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"placement policy must be one of {PLACEMENT_POLICIES}, "
+                f"not {self.policy!r}"
+            )
+        if self.replication_factor < 1:
+            raise ConfigurationError("replication_factor must be >= 1")
+        if self.policy == "pinned" and not self.groups:
+            raise ConfigurationError("pinned placement requires target groups")
+        if self.policy != "pinned" and self.groups:
+            raise ConfigurationError(
+                f"placement groups are only legal with policy='pinned' "
+                f"(got policy={self.policy!r})"
+            )
+        if self.logical_ids and len(self.logical_ids) != self.replication_factor:
+            raise ConfigurationError(
+                "logical_ids must supply exactly replication_factor ids"
+            )
+        if len(set(self.logical_ids)) != len(self.logical_ids):
+            raise ConfigurationError("logical_ids must be distinct")
+
+    def ids(self) -> tuple[int, ...]:
+        """The logical replica numbers this placement produces."""
+        if self.logical_ids:
+            return self.logical_ids
+        return tuple(range(1, self.replication_factor + 1))
+
+    def to_wire(self) -> list:
+        return [
+            self.replication_factor,
+            self.policy,
+            list(self.groups),
+            list(self.logical_ids),
+        ]
+
+    @classmethod
+    def from_wire(cls, wire: list) -> "Placement":
+        return cls(
+            replication_factor=int(wire[0]),
+            policy=str(wire[1]),
+            groups=tuple(wire[2]),
+            logical_ids=tuple(int(i) for i in wire[3]),
+        )
+
+
+@dataclass(frozen=True)
+class ServerGroup:
+    """One named group of physical server members (global member numbers)."""
+
+    name: str
+    members: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError(f"server group {self.name!r} has no members")
+        if len(set(self.members)) != len(self.members):
+            raise ConfigurationError(f"server group {self.name!r} repeats members")
+
+
+@dataclass(frozen=True)
+class DirectoryView:
+    """One immutable snapshot of the sharded object space."""
+
+    version: int = 0
+    groups: tuple[ServerGroup, ...] = ()
+    vnodes: int | None = None
+    failed: frozenset[int] = frozenset()
+    default_placement: Placement = Placement()
+    placements: Mapping[str, Placement] = field(default_factory=dict)
+    ring: HashRing = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [group.name for group in self.groups]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("server group names must be unique")
+        seen: set[int] = set()
+        for group in self.groups:
+            overlap = seen.intersection(group.members)
+            if overlap:
+                raise ConfigurationError(
+                    f"members {sorted(overlap)} appear in more than one group"
+                )
+            seen.update(group.members)
+        object.__setattr__(self, "ring", HashRing(names, vnodes=self.vnodes))
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        """True when this view actually partitions an object space."""
+        return bool(self.groups)
+
+    def group(self, name: str) -> ServerGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+    def members(self) -> tuple[int, ...]:
+        out: list[int] = []
+        for group in self.groups:
+            out.extend(group.members)
+        return tuple(out)
+
+    def placement_for(self, object_id: str) -> Placement:
+        return self.placements.get(object_id, self.default_placement)
+
+    # -- placement resolution --------------------------------------------------
+
+    def assignments(self, object_id: str) -> tuple[tuple[int, int], ...]:
+        """Resolve ``object_id`` to ``((logical_replica, member), ...)``.
+
+        Deterministic in every process (the ring hash is seed-independent).
+        Raises :class:`ConfigurationError` when the placement cannot be
+        satisfied with distinct members (a replica pair sharing one member
+        would collide on the member's per-object skeleton mount).
+        """
+        if not self.sharded:
+            raise ConfigurationError("view has no server groups to place on")
+        placement = self.placement_for(object_id)
+        ids = placement.ids()
+        members = self._select_members(object_id, placement, len(ids))
+        return tuple(zip(ids, members))
+
+    def _select_members(
+        self, object_id: str, placement: Placement, needed: int
+    ) -> tuple[int, ...]:
+        key_hash = stable_hash(object_id)
+        if placement.policy == "pinned":
+            pool: list[int] = []
+            for name in placement.groups:
+                pool.extend(self.group(name).members)
+        elif placement.policy == "spread":
+            chosen: list[int] = []
+            for name in self.ring.owners(object_id, needed):
+                members = self.group(name).members
+                chosen.append(members[key_hash % len(members)])
+            pool = chosen
+            # Too few groups: fall through to the overflow walk below.
+            if len(pool) < needed:
+                pool = self._ring_pool(object_id, exclude=set(pool))
+                pool = chosen + pool
+        else:  # "ring"
+            pool = self._ring_pool(object_id)
+        deduped: list[int] = []
+        for member in pool:
+            if member not in deduped:
+                deduped.append(member)
+        if len(deduped) < needed:
+            raise ConfigurationError(
+                f"placement of {object_id!r} needs {needed} distinct members "
+                f"but only {len(deduped)} are reachable"
+            )
+        return tuple(deduped[:needed])
+
+    def _ring_pool(self, object_id: str, exclude: set[int] | None = None) -> list[int]:
+        """Members of the owner group, then successor groups, in ring order.
+
+        Each group's member list is rotated by the key hash so rf=1
+        objects spread across a group's members instead of piling onto the
+        first one.  The rotation is *per group* on purpose: rotating the
+        concatenated pool would make placement depend on the fleet-wide
+        member count, remapping almost every object on any membership
+        change and forfeiting the ring's minimal-remap property.
+        """
+        key_hash = stable_hash(object_id)
+        pool: list[int] = []
+        for name in self.ring.owners(object_id, len(self.ring)):
+            members = self.group(name).members
+            offset = key_hash % len(members)
+            for member in members[offset:] + members[:offset]:
+                if exclude is None or member not in exclude:
+                    pool.append(member)
+        return pool
+
+    def replicas_for(self, object_id: str) -> tuple[int, ...]:
+        """The logical replica numbers of ``object_id`` under this view."""
+        return self.placement_for(object_id).ids()
+
+    def owner_groups(self, object_id: str) -> tuple[str, ...]:
+        """The distinct groups hosting ``object_id``, in assignment order."""
+        member_group = {
+            member: group.name for group in self.groups for member in group.members
+        }
+        names: list[str] = []
+        for _, member in self.assignments(object_id):
+            name = member_group[member]
+            if name not in names:
+                names.append(name)
+        return tuple(names)
+
+    # -- copy-on-write builders ------------------------------------------------
+
+    def _evolve(self, **changes) -> "DirectoryView":
+        return DirectoryView(
+            version=changes.get("version", self.version + 1),
+            groups=changes.get("groups", self.groups),
+            vnodes=self.vnodes,
+            failed=changes.get("failed", self.failed),
+            default_placement=changes.get(
+                "default_placement", self.default_placement
+            ),
+            placements=changes.get("placements", dict(self.placements)),
+        )
+
+    def with_group(self, group: ServerGroup) -> "DirectoryView":
+        others = tuple(g for g in self.groups if g.name != group.name)
+        return self._evolve(groups=(*others, group))
+
+    def without_group(self, name: str) -> "DirectoryView":
+        if all(group.name != name for group in self.groups):
+            return self
+        return self._evolve(
+            groups=tuple(group for group in self.groups if group.name != name)
+        )
+
+    def with_placement(self, object_id: str, placement: Placement) -> "DirectoryView":
+        placements = dict(self.placements)
+        placements[object_id] = placement
+        return self._evolve(placements=placements)
+
+    def with_failed(self, failed: Iterable[int]) -> "DirectoryView":
+        frozen = frozenset(failed)
+        if frozen == self.failed:
+            return self
+        return self._evolve(failed=frozen)
+
+    # -- wire form (piggyback view deltas) --------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "version": self.version,
+            "vnodes": self.vnodes,
+            "groups": [[group.name, list(group.members)] for group in self.groups],
+            "failed": sorted(self.failed),
+            "default_placement": self.default_placement.to_wire(),
+            "placements": {
+                object_id: placement.to_wire()
+                for object_id, placement in sorted(self.placements.items())
+            },
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "DirectoryView":
+        return cls(
+            version=int(wire["version"]),
+            vnodes=wire.get("vnodes"),
+            groups=tuple(
+                ServerGroup(str(name), tuple(int(m) for m in members))
+                for name, members in wire["groups"]
+            ),
+            failed=frozenset(int(m) for m in wire.get("failed", ())),
+            default_placement=Placement.from_wire(wire["default_placement"]),
+            placements={
+                str(object_id): Placement.from_wire(placement)
+                for object_id, placement in wire.get("placements", {}).items()
+            },
+        )

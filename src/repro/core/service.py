@@ -351,6 +351,7 @@ class CqosDeployment:
         host_name: str | None = None,
         runtime_workers: int | None = None,
         observers: Sequence[Any] | None = None,
+        router=None,
     ) -> CqosStub:
         """Create a CQoS stub for ``object_id`` on a fresh client host.
 
@@ -359,19 +360,26 @@ class CqosDeployment:
         it is ignored when ``with_cactus_client=False`` (pass-through stub,
         Table 1's "+CQoS stub" rung).  ``observers`` attaches kernel
         :class:`~repro.core.platform.InvocationObserver` hooks to the stub
-        boundary and every wire send.
+        boundary and every wire send.  ``router`` attaches a
+        :class:`~repro.core.routing.router.ShardRouter` so replica discovery
+        goes through the sharded directory view (see
+        :class:`~repro.core.shardspace.ShardSpace`).
         """
         host = host_name or f"client-{self._ids.next_int()}"
         if self.platform == "corba":
             orb = self._new_orb(host)
-            platform = CorbaClientPlatform(orb, object_id, observers=observers)
+            platform = CorbaClientPlatform(
+                orb, object_id, observers=observers, router=router
+            )
         elif self.platform == "rmi":
             runtime = self._new_rmi(host)
-            platform = RmiClientPlatform(runtime, object_id, observers=observers)
+            platform = RmiClientPlatform(
+                runtime, object_id, observers=observers, router=router
+            )
         else:
             http_client, registry = self._http_registry_client(host)
             platform = HttpClientPlatform(
-                http_client, registry, object_id, observers=observers
+                http_client, registry, object_id, observers=observers, router=router
             )
         cactus_client: CactusClient | None = None
         if with_cactus_client:
@@ -413,6 +421,16 @@ class CqosDeployment:
             priority=priority,
             observers=observers,
         )
+
+    def shard_space(self, groups, **kwargs):
+        """Create a sharded object space over this deployment.
+
+        ``groups`` maps group name → member count; see
+        :class:`~repro.core.shardspace.ShardSpace`.
+        """
+        from repro.core.shardspace import ShardSpace
+
+        return ShardSpace(self, groups, **kwargs)
 
     def plain_stub(
         self,

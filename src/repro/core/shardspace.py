@@ -1,0 +1,451 @@
+"""ShardSpace: a sharded object space over one CQoS deployment.
+
+The deployment façade (:class:`~repro.core.service.CqosDeployment`) deploys
+one object onto dedicated hosts; a :class:`ShardSpace` deploys *many*
+objects onto a fixed fleet of server **groups** and lets the consistent-hash
+ring decide which members host which object (see
+:mod:`repro.core.routing`).  It owns the authoritative
+:class:`~repro.core.routing.router.ShardRouter` — the single writer of
+directory views — and performs live rebalancing with the zero-drop
+discipline:
+
+1. **install first** — the moved replica's skeleton is mounted on the new
+   member (with the *same* servant instance — the stand-in for state
+   transfer) and the bootstrap naming entry is rebound, so re-resolving
+   clients immediately land on the new owner;
+2. **flip the view** — ``router.apply(new_view)`` publishes the new
+   assignment; clients pull it via reply piggyback;
+3. **drain, then retire** — the old mount keeps serving until its
+   server-side in-flight count reaches zero; only then is it retired, after
+   which a stale client with a cached endpoint receives the wire-safe,
+   retryable :class:`~repro.util.errors.ShardMovedError`, drops its
+   binding, re-resolves, and lands on the new owner.
+
+No request in flight at the flip is dropped, and no naming convention or
+wire byte changes — the ring only decides *which hosts register* the
+unchanged ``"OID/replica-i"`` style names.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.adapters.corba import install_corba_replica
+from repro.core.adapters.http import install_http_replica
+from repro.core.adapters.rmi import install_rmi_replica
+from repro.core.platform import (
+    InvocationObserver,
+    corba_poa_name,
+    corba_replica_name,
+    http_replica_name,
+    http_skeleton_object_id,
+    rmi_skeleton_name,
+)
+from repro.core.routing import (
+    DirectoryView,
+    Placement,
+    ServerGroup,
+    ShardRouter,
+)
+from repro.core.service import CqosDeployment, MpConfig
+from repro.core.skeleton import CqosSkeleton
+from repro.idl.compiler import InterfaceDef
+from repro.orb.naming import naming_client
+from repro.rmi.registry import registry_client
+from repro.rmi.runtime import GENERIC_INTERFACE, RemoteRef
+from repro.util.errors import ConfigurationError
+
+
+class _InflightObserver(InvocationObserver):
+    """Counts requests between skeleton receive and reply/failure.
+
+    The count is the drain signal of a handoff: an old mount may retire
+    only once every request it accepted has produced its reply (or error),
+    which is exactly when this counter returns to zero.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._count
+
+    def on_skeleton_receive(self, object_id: str, operation: str, context: dict) -> None:
+        with self._lock:
+            self._count += 1
+
+    def on_skeleton_reply(self, object_id: str, operation: str, value: Any) -> None:
+        with self._lock:
+            self._count -= 1
+
+    def on_skeleton_failure(
+        self, object_id: str, operation: str, error: BaseException
+    ) -> None:
+        with self._lock:
+            self._count -= 1
+
+
+@dataclass
+class _Mount:
+    """One installed replica mount: skeleton + drain counter + teardown."""
+
+    object_id: str
+    logical: int
+    member: int
+    skeleton: CqosSkeleton
+    observer: _InflightObserver
+    teardown: Callable[[], None]
+    unbind: Callable[[], None]
+
+
+@dataclass
+class _ObjectSpec:
+    """Everything needed to (re-)install an object's replicas."""
+
+    servant_factory: Callable[[], Any]
+    interface: InterfaceDef
+    micro_protocols: MpConfig | str
+    observers: tuple[Any, ...] = ()
+
+
+class ShardSpace:
+    """Many objects, few server groups, ring-decided placement."""
+
+    def __init__(
+        self,
+        deployment: CqosDeployment,
+        groups: Mapping[str, int],
+        vnodes: int | None = None,
+        default_placement: Placement | None = None,
+        drain_timeout: float = 5.0,
+    ):
+        if not groups:
+            raise ConfigurationError("a shard space needs at least one server group")
+        self.deployment = deployment
+        self.drain_timeout = drain_timeout
+        self._lock = threading.RLock()
+        self._members: dict[int, str] = {}  # member id -> host name
+        self._infra: dict[int, dict] = {}  # member id -> platform objects
+        self._next_member = 1
+        server_groups = tuple(
+            self._allocate_group(name, count) for name, count in groups.items()
+        )
+        self.router = ShardRouter(
+            DirectoryView(
+                version=1,
+                groups=server_groups,
+                vnodes=vnodes,
+                default_placement=default_placement or Placement(),
+            )
+        )
+        self._objects: dict[str, _ObjectSpec] = {}
+        self._servants: dict[tuple[str, int], Any] = {}
+        self._mounts: dict[tuple[str, int], _Mount] = {}
+        self._retired: dict[int, list[_Mount]] = {}  # member -> retired mounts
+
+    # -- membership of the fleet ---------------------------------------------
+
+    def _allocate_group(self, name: str, count: int) -> ServerGroup:
+        if count < 1:
+            raise ConfigurationError(f"group {name!r} needs at least one member")
+        ids = []
+        for j in range(1, count + 1):
+            member = self._next_member
+            self._next_member += 1
+            self._members[member] = f"shard-{name}-{j}"
+            ids.append(member)
+        return ServerGroup(name, tuple(ids))
+
+    def member_host(self, member: int) -> str:
+        host = self._members.get(member)
+        if host is None:
+            raise ConfigurationError(f"unknown shard member {member}")
+        return host
+
+    def view(self) -> DirectoryView:
+        return self.router.view()
+
+    # -- object lifecycle -----------------------------------------------------
+
+    def add_object(
+        self,
+        object_id: str,
+        servant_factory: Callable[[], Any],
+        interface: InterfaceDef,
+        placement: Placement | None = None,
+        qos: Any = None,
+        server_micro_protocols: MpConfig | str = "with_base",
+        observers: Sequence[Any] | None = None,
+    ) -> tuple[tuple[int, int], ...]:
+        """Place one object into the space; returns its assignments.
+
+        ``placement`` (or ``qos.placement``, when a sealed
+        :class:`~repro.qos.builder.QosSpec` is given) selects the
+        distribution policy; omitted, the space's default applies and the
+        view is not even bumped.
+        """
+        if placement is None and qos is not None:
+            placement = getattr(qos, "placement", None)
+        with self._lock:
+            if object_id in self._objects:
+                raise ConfigurationError(f"object {object_id!r} already placed")
+            spec = _ObjectSpec(
+                servant_factory,
+                interface,
+                server_micro_protocols,
+                tuple(observers or ()),
+            )
+            self._objects[object_id] = spec
+            view = self.router.view()
+            new_view = (
+                view.with_placement(object_id, placement)
+                if placement is not None
+                else view
+            )
+            assigns = new_view.assignments(object_id)
+            for logical, member in assigns:
+                self._mounts[(object_id, logical)] = self._install(
+                    object_id, logical, member, len(assigns)
+                )
+            if new_view is not view:
+                self.router.apply(new_view)
+            return assigns
+
+    def _servant(self, object_id: str, logical: int) -> Any:
+        key = (object_id, logical)
+        servant = self._servants.get(key)
+        if servant is None:
+            servant = self._objects[object_id].servant_factory()
+            self._servants[key] = servant
+        return servant
+
+    def _member_infra(self, member: int) -> dict:
+        infra = self._infra.get(member)
+        if infra is not None:
+            return infra
+        host = self.member_host(member)
+        dep = self.deployment
+        if dep.platform == "corba":
+            infra = {"orb": dep._new_orb(host).start()}
+        elif dep.platform == "rmi":
+            infra = {"runtime": dep._new_rmi(host).start()}
+        else:
+            server = dep._new_http_server(host).start()
+            client, registry = dep._http_registry_client(host)
+            infra = {"server": server, "client": client, "registry": registry}
+        self._infra[member] = infra
+        return infra
+
+    def _install(
+        self, object_id: str, logical: int, member: int, total: int
+    ) -> _Mount:
+        # A member about to re-host a replica must first free the mount id
+        # its *retired* incarnation of that replica still holds.
+        for mount in list(self._retired.get(member, ())):
+            if mount.object_id == object_id and mount.logical == logical:
+                self._retired[member].remove(mount)
+                self._safely(mount.teardown)
+        spec = self._objects[object_id]
+        servant = self._servant(object_id, logical)
+        observer = _InflightObserver()
+        observers = [observer, *spec.observers]
+        factory = self.deployment._server_factory(
+            object_id, logical, spec.micro_protocols, None
+        )
+        infra = self._member_infra(member)
+        dep = self.deployment
+        if dep.platform == "corba":
+            orb = infra["orb"]
+            skeleton = install_corba_replica(
+                orb,
+                object_id,
+                logical,
+                servant,
+                spec.interface,
+                cactus_server_factory=factory,
+                total_replicas=total,
+                observers=observers,
+                router=self.router,
+            )
+
+            def teardown(orb=orb) -> None:
+                poa = orb.find_poa(corba_poa_name(object_id, logical))
+                if poa is not None:
+                    poa.destroy()
+
+            def unbind(orb=orb) -> None:
+                naming_client(orb).unbind(corba_replica_name(object_id, logical))
+
+        elif dep.platform == "rmi":
+            runtime = infra["runtime"]
+            skeleton = install_rmi_replica(
+                runtime,
+                object_id,
+                logical,
+                servant,
+                spec.interface,
+                cactus_server_factory=factory,
+                total_replicas=total,
+                observers=observers,
+                router=self.router,
+            )
+            ref = RemoteRef(
+                interface_name=GENERIC_INTERFACE,
+                address=runtime.endpoint_address,
+                object_id=rmi_skeleton_name(object_id, logical),
+            )
+
+            def teardown(runtime=runtime, ref=ref) -> None:
+                runtime.unexport(ref)
+
+            def unbind(runtime=runtime) -> None:
+                registry_client(runtime).unbind(rmi_skeleton_name(object_id, logical))
+
+        else:
+            server, client, registry = (
+                infra["server"],
+                infra["client"],
+                infra["registry"],
+            )
+            # Per-logical mount ids: one member may host several logical
+            # replicas of one object across a handoff window.
+            mount_id = f"{http_skeleton_object_id(object_id)}_{logical}"
+            skeleton = install_http_replica(
+                server,
+                client,
+                registry,
+                object_id,
+                logical,
+                servant,
+                spec.interface,
+                cactus_server_factory=factory,
+                total_replicas=total,
+                observers=observers,
+                router=self.router,
+                skeleton_id=mount_id,
+            )
+
+            def teardown(server=server, mount_id=mount_id) -> None:
+                server.unmount(mount_id)
+
+            def unbind(registry=registry) -> None:
+                registry.unbind(http_replica_name(object_id, logical))
+
+        return _Mount(object_id, logical, member, skeleton, observer, teardown, unbind)
+
+    # -- rebalancing -----------------------------------------------------------
+
+    def add_group(self, name: str, members: int) -> None:
+        """Grow the fleet by one group; minimally remaps and rebalances."""
+        with self._lock:
+            view = self.router.view()
+            if any(group.name == name for group in view.groups):
+                raise ConfigurationError(f"group {name!r} already exists")
+            group = self._allocate_group(name, members)
+            self._retarget(view.with_group(group))
+
+    def remove_group(self, name: str) -> None:
+        """Drain a group out of the fleet (its objects move clockwise)."""
+        with self._lock:
+            view = self.router.view()
+            new_view = view.without_group(name)
+            if new_view is view:
+                raise ConfigurationError(f"no group named {name!r}")
+            self._retarget(new_view)
+
+    def set_placement(self, object_id: str, placement: Placement) -> None:
+        """Change one object's placement policy live."""
+        with self._lock:
+            if object_id not in self._objects:
+                raise ConfigurationError(f"object {object_id!r} is not placed")
+            self._retarget(self.router.view().with_placement(object_id, placement))
+
+    def apply_membership_change(self, failed) -> DirectoryView:
+        """Record a failure-detector report in the authoritative view."""
+        return self.router.apply_membership_change(failed)
+
+    def _retarget(self, new_view: DirectoryView) -> None:
+        """The zero-drop handoff: install → flip view → drain → retire."""
+        old_view = self.router.view()
+        moved: list[_Mount] = []
+        dropped: list[_Mount] = []
+        for object_id in self._objects:
+            old = dict(old_view.assignments(object_id)) if old_view.sharded else {}
+            new = dict(new_view.assignments(object_id))
+            for logical, member in new.items():
+                key = (object_id, logical)
+                if old.get(logical) == member and key in self._mounts:
+                    continue
+                previous = self._mounts.get(key)
+                self._mounts[key] = self._install(
+                    object_id, logical, member, len(new)
+                )
+                if previous is not None:
+                    moved.append(previous)
+            for logical in old:
+                if logical not in new:
+                    previous = self._mounts.pop((object_id, logical), None)
+                    if previous is not None:
+                        dropped.append(previous)
+        self.router.apply(new_view)
+        for mount in moved + dropped:
+            self._drain(mount)
+            mount.skeleton.retire()
+            self._retired.setdefault(mount.member, []).append(mount)
+        # A dropped logical replica has no successor registration: remove
+        # its naming entry so prefix enumeration stops finding it.
+        for mount in dropped:
+            self._safely(mount.unbind)
+
+    def _drain(self, mount: _Mount) -> None:
+        """Wait for the old mount's in-flight requests to complete."""
+        deadline = time.monotonic() + self.drain_timeout
+        while mount.observer.inflight > 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+
+    @staticmethod
+    def _safely(action: Callable[[], None]) -> None:
+        try:
+            action()
+        except Exception:  # noqa: BLE001 - cleanup on a crashed member is moot
+            pass
+
+    def inflight(self, object_id: str) -> int:
+        """Total server-side in-flight count across the object's live mounts."""
+        with self._lock:
+            return sum(
+                mount.observer.inflight
+                for (oid, _), mount in self._mounts.items()
+                if oid == object_id
+            )
+
+    # -- client side -----------------------------------------------------------
+
+    def client_router(self) -> ShardRouter:
+        """A fresh per-client router seeded with the current view.
+
+        Clients own their router (their view advances via piggyback deltas
+        at their own pace); only the space's authoritative router is ever
+        written by rebalancing.
+        """
+        return ShardRouter(self.router.view())
+
+    def client_stub(self, object_id: str, interface: InterfaceDef, **kwargs: Any):
+        """A CQoS stub whose replica discovery goes through the ring."""
+        return self.deployment.client_stub(
+            object_id, interface, router=self.client_router(), **kwargs
+        )
+
+    # -- fault injection --------------------------------------------------------
+
+    def crash_member(self, member: int) -> None:
+        self.deployment.network.crash(self.member_host(member))
+
+    def recover_member(self, member: int) -> None:
+        self.deployment.network.recover(self.member_host(member))

@@ -15,6 +15,17 @@ plane**: requests whose operation is :data:`CONTROL_OPERATION` carry
 ``[kind, sender_replica, payload]`` and are routed to the Cactus server's
 ``control:<kind>`` event (``ping`` is answered directly, enabling
 ``server_status()`` probes even for pass-through skeletons).
+
+Two sharding duties also live here because the skeleton sees every request:
+
+- **view-delta serving** — when the server platform carries a sharded
+  :class:`~repro.core.routing.router.ShardRouter` and the client stamped an
+  older view version, the delta bringing it current is staged onto the
+  reply piggyback (the pull half of membership-driven view propagation);
+- **retirement** — after a shard handoff has drained, :meth:`retire` makes
+  the skeleton refuse non-control operations with
+  :class:`~repro.util.errors.ShardMovedError` so a stale client re-resolves
+  to the new owner instead of silently executing against the old one.
 """
 
 from __future__ import annotations
@@ -25,9 +36,10 @@ from repro.core.interfaces import ServerPlatform
 
 # Canonical home of the control-plane constants is the invocation kernel;
 # re-exported here for backwards compatibility with pre-kernel imports.
-from repro.core.platform import CONTROL_OPERATION, CONTROL_PING
-from repro.core.request import PB_REQUEST_ID, Request
+from repro.core.platform import CONTROL_OPERATION, CONTROL_PING, wrap_reply_value
+from repro.core.request import PB_REQUEST_ID, PB_VIEW_DELTA, PB_VIEW_VERSION, Request
 from repro.core.server import CactusServer
+from repro.util.errors import ShardMovedError
 
 
 class CqosSkeleton:
@@ -42,10 +54,26 @@ class CqosSkeleton:
         self.object_id = object_id
         self._platform = platform
         self._cactus_server = cactus_server
+        self._retired = False
 
     @property
     def cactus_server(self) -> CactusServer | None:
         return self._cactus_server
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    def retire(self) -> None:
+        """Refuse further application operations (shard handoff complete).
+
+        Control-plane traffic (pings, replica coordination) still works so a
+        retired replica remains observable, but application requests raise
+        :class:`ShardMovedError` — wire-safe and retryable, so a stale
+        client drops its binding, re-resolves the (re-registered) name, and
+        lands on the new owner.
+        """
+        self._retired = True
 
     def handle_invocation(self, operation: str, arguments: list, context: dict) -> Any:
         """Process one intercepted platform request; return the reply value.
@@ -56,6 +84,10 @@ class CqosSkeleton:
         if operation == CONTROL_OPERATION:
             kind, sender, payload = arguments
             return self._handle_control(str(kind), int(sender), dict(payload))
+        if self._retired:
+            raise ShardMovedError(
+                f"{self.object_id} no longer served here (shard moved)"
+            )
         context = dict(context)
         request = Request(
             object_id=self.object_id,
@@ -65,11 +97,32 @@ class CqosSkeleton:
             # Preserve the client-side identity so replicas agree on it.
             request_id=context.get(PB_REQUEST_ID),
         )
+        self._stage_view_delta(request)
         if self._cactus_server is not None:
             return self._cactus_server.cactus_invoke(request)
         # Pass-through (Table 1's "+CQoS skeleton" rung): the abstract
         # request is built and the servant invoked natively, no Cactus.
-        return self._platform.invoke_servant(request)
+        # Staged reply piggyback (view deltas) still rides the envelope.
+        return wrap_reply_value(
+            self._platform.invoke_servant(request), request.reply_piggyback
+        )
+
+    def _stage_view_delta(self, request: Request) -> None:
+        """Stage the view delta for a client behind this server's view.
+
+        Only when the platform carries a sharded router *and* the client
+        stamped its view version (unsharded clients never stamp, keeping
+        their wire traffic byte-identical to pre-routing builds).
+        """
+        router = getattr(self._platform, "router", None)
+        if router is None or not router.sharded:
+            return
+        client_version = request.piggyback.get(PB_VIEW_VERSION)
+        if client_version is None:
+            return
+        delta = router.delta_since(int(client_version))
+        if delta is not None:
+            request.reply_piggyback[PB_VIEW_DELTA] = delta
 
     def _handle_control(self, kind: str, sender: int, payload: dict) -> Any:
         if kind == CONTROL_PING:

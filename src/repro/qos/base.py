@@ -54,6 +54,19 @@ from repro.util.errors import CommunicationError, InvocationError, ServerFailedE
 ATTR_SERVANT_EXCEPTION = "servant_exception"
 
 
+def replica_ids(platform: ClientPlatform) -> tuple[int, ...]:
+    """The platform's logical replica ids, in preference order.
+
+    Sharded directory views produce legitimately sparse id spaces, so QoS
+    protocols iterate this instead of assuming ``range(1, N+1)``; platforms
+    without the richer surface keep the historical contiguous ids.
+    """
+    server_ids = getattr(platform, "server_ids", None)
+    if server_ids is not None:
+        return server_ids()
+    return tuple(range(1, platform.num_servers() + 1))
+
+
 @register_micro_protocol("ClientBase")
 class ClientBase(MicroProtocol):
     """The default client-side pipeline (see module docstring)."""
@@ -69,13 +82,21 @@ class ClientBase(MicroProtocol):
     # -- handlers -----------------------------------------------------------
 
     def assigner(self, occurrence: Occurrence) -> None:
-        """Assign the first non-failed server (server 1 in the simple case)."""
+        """Assign the first non-failed server (server 1 in the simple case).
+
+        "Failed" is the union of this client's own observations (the shared
+        failed set) and the platform directory's knowledge — which, on a
+        sharded deployment, includes the failed members the adopted
+        directory view carries, so a membership change steers even plain
+        base clients away from a dead replica before the first timeout.
+        """
         request: Request = occurrence.args[0]
         platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
         failed: set = self.shared.get(SHARED_FAILED_SERVERS) or set()
-        server = 1
-        for candidate in range(1, platform.num_servers() + 1):
-            if candidate not in failed:
+        candidates = replica_ids(platform)
+        server = candidates[0] if candidates else 1
+        for candidate in candidates:
+            if candidate not in failed and platform.server_status(candidate):
                 server = candidate
                 break
         request.server = server

@@ -86,12 +86,18 @@ class QosSpec:
 
     client_specs: list[MicroProtocolSpec] = field(default_factory=list)
     server_specs: list[MicroProtocolSpec] = field(default_factory=list)
+    #: Replica placement (a :class:`~repro.core.routing.view.Placement`), or
+    #: None for the deployment default.  A QoS attribute like any other —
+    #: *where* an object's replicas live is part of its service contract
+    #: (RAFDA-style: policy is declared, never coded into the servant).
+    placement: Any = None
 
     def fingerprint(self) -> tuple:
         """Stable identity of this combination (the plan-cache key)."""
         return (
             spec_fingerprint(self.client_specs),
             spec_fingerprint(self.server_specs),
+            _freeze(self.placement.to_wire()) if self.placement is not None else None,
         )
 
     def client_factory(self):
@@ -135,6 +141,7 @@ class QosBuilder:
         self._slo: dict[str, Any] | None = None
         self._caching: dict[str, Any] | None = None
         self._balance: dict[str, Any] | None = None
+        self._placement: Any = None
         self._extras_client: list[MicroProtocolSpec] = []
         self._extras_server: list[MicroProtocolSpec] = []
 
@@ -263,6 +270,33 @@ class QosBuilder:
         self._balance = {"poll_interval": poll_interval, "seed": seed}
         return self
 
+    # -- placement (sharded deployments) ---------------------------------------
+
+    def placement(
+        self,
+        replication_factor: int = 1,
+        policy: str = "ring",
+        groups: tuple | list = (),
+        logical_ids: tuple | list = (),
+    ) -> "QosBuilder":
+        """Declare where the object's replicas live (sharded deployments).
+
+        ``policy``: ``"ring"`` (pack into the owner group), ``"spread"``
+        (one replica per distinct group) or ``"pinned"`` (explicit
+        ``groups``).  Cross-validated against the fault-tolerance choice at
+        build time: replication styles need enough replicas to matter.
+        Ignored by unsharded deployments.
+        """
+        from repro.core.routing import Placement
+
+        self._placement = Placement(
+            replication_factor=replication_factor,
+            policy=policy,
+            groups=tuple(groups),
+            logical_ids=tuple(int(i) for i in logical_ids),
+        )
+        return self
+
     # -- escape hatch ----------------------------------------------------------------
 
     def extra(self, side: str, name: str, **params: Any) -> "QosBuilder":
@@ -315,6 +349,7 @@ class QosBuilder:
             _freeze(self._slo),
             _freeze(self._caching),
             _freeze(self._balance),
+            _freeze(self._placement.to_wire()) if self._placement is not None else None,
             spec_fingerprint(self._extras_client),
             spec_fingerprint(self._extras_server),
         )
@@ -394,7 +429,24 @@ class QosBuilder:
         client.extend(self._extras_client)
         server.extend(self._extras_server)
 
+        if self._placement is not None:
+            rf = self._placement.replication_factor
+            if self._ft != "none" and rf < 2:
+                raise ConfigurationError(
+                    f"fault_tolerance('{self._ft}') with replication_factor="
+                    f"{rf} is dead configuration — replication needs at "
+                    "least 2 replicas to survive a failure"
+                )
+            if self._acceptance == "vote" and rf < 3:
+                raise ConfigurationError(
+                    "acceptance='vote' needs replication_factor >= 3: a "
+                    "majority of 2 is both replicas, so voting adds nothing "
+                    "over acceptance='success'"
+                )
+
         validate_configuration(
             [spec.name for spec in client], [spec.name for spec in server]
         )
-        return QosSpec(client_specs=client, server_specs=server)
+        return QosSpec(
+            client_specs=client, server_specs=server, placement=self._placement
+        )

@@ -137,8 +137,9 @@ class LoadBalance(MicroProtocol):
         verdict belongs to the binding layer's fault taxonomy alone.
         """
         from repro.core.skeleton import CONTROL_OPERATION
+        from repro.qos.base import replica_ids
 
-        for server in range(1, platform.num_servers() + 1):
+        for server in replica_ids(platform):
             probe = Request("lb", CONTROL_OPERATION, [CONTROL_LOAD, 0, {}])
             try:
                 platform.bind(server)
@@ -241,10 +242,10 @@ class LoadBalance(MicroProtocol):
         request: Request = occurrence.args[0]
         platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
         failed: set = self.shared.get(SHARED_FAILED_SERVERS)
+        from repro.qos.base import replica_ids
+
         candidates = [
-            server
-            for server in range(1, platform.num_servers() + 1)
-            if server not in failed
+            server for server in replica_ids(platform) if server not in failed
         ]
         if not candidates:
             request.fail(ServerFailedError("no live replica for load balancing"))

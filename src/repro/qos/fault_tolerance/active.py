@@ -40,8 +40,13 @@ class ActiveRep(MicroProtocol):
 
     def start(self) -> None:
         platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
-        count = self._num_servers if self._num_servers is not None else platform.num_servers()
-        for server in range(1, count + 1):
+        if self._num_servers is not None:
+            replicas = tuple(range(1, self._num_servers + 1))
+        else:
+            from repro.qos.base import replica_ids
+
+            replicas = replica_ids(platform)
+        for server in replicas:
             self.bind(
                 EV_NEW_REQUEST,
                 self.act_assigner,

@@ -49,7 +49,16 @@ class FailureDetector(MicroProtocol):
         platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
         failed: set = self.shared.get(SHARED_FAILED_SERVERS)
         new_failed: set[int] = set()
-        for server in range(1, platform.num_servers() + 1):
+        # The directory view owns the replica id space: sharded placements
+        # produce legitimately sparse logical ids, so probing must iterate
+        # the view's ids, never assume a contiguous range(1, N+1).
+        server_ids = getattr(platform, "server_ids", None)
+        replicas = (
+            server_ids()
+            if server_ids is not None
+            else tuple(range(1, platform.num_servers() + 1))
+        )
+        for server in replicas:
             probe = getattr(platform, "probe", None)
             alive = probe(server) if probe is not None else platform.server_status(server)
             if not alive:
@@ -59,6 +68,19 @@ class FailureDetector(MicroProtocol):
             failed.clear()
             failed.update(new_failed)
         if old != new_failed:
+            # A sharded client also records the change in its directory
+            # view: the version bump is what invalidates stale bindings and
+            # drives membershipChange visibility through the routing layer.
+            # The view tracks *physical members*, so the probed logical
+            # replica ids are translated through the current assignments.
+            router = getattr(platform, "router", None)
+            if router is not None and router.sharded:
+                member_of = dict(
+                    router.view().assignments(getattr(platform, "object_id", ""))
+                )
+                router.apply_membership_change(
+                    member_of[r] for r in new_failed if r in member_of
+                )
             self.raise_event(EV_MEMBERSHIP_CHANGE, old, set(new_failed), mode="async")
         return new_failed
 

@@ -66,7 +66,9 @@ class PassiveRep(MicroProtocol):
     def _pick_primary(self) -> int | None:
         platform: ClientPlatform = self.shared.get(SHARED_PLATFORM)
         failed: set = self.shared.get(SHARED_FAILED_SERVERS)
-        for server in range(1, platform.num_servers() + 1):
+        from repro.qos.base import replica_ids
+
+        for server in replica_ids(platform):
             if server not in failed:
                 return server
         return None

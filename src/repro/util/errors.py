@@ -114,6 +114,18 @@ class AdmissionRejectedError(CommunicationError):
         self.retry_after = retry_after
 
 
+class ShardMovedError(CommunicationError):
+    """The invoked replica no longer owns the object's shard.
+
+    Raised by a retired CQoS skeleton after a shard handoff has drained:
+    the naming entry already points at the new owner, so the correct client
+    reaction is exactly the transient-communication one — drop the cached
+    binding, re-resolve the name, retry.  It is therefore retryable and
+    registered wire-safe, so a stale client's retry micro-protocols route
+    the next attempt to the new owner instead of failing the request.
+    """
+
+
 class AccessDeniedError(ReproError):
     """The access-control micro-protocol rejected the request."""
 
@@ -190,6 +202,7 @@ def classify_error(exception: BaseException | None) -> str:
 _WIRE_SAFE_ERRORS: dict[str, type] = {
     "DeadlineExceededError": DeadlineExceededError,
     "AdmissionRejectedError": AdmissionRejectedError,
+    "ShardMovedError": ShardMovedError,
 }
 
 

@@ -276,3 +276,57 @@ class TestIncoherentOverloadCombos:
     def test_orphan_invalidator_rejected(self):
         with pytest.raises(ConfigurationError, match="no cache to invalidate"):
             QosBuilder().extra("server", "CacheInvalidator").build()
+
+
+class TestPlacementDeclarations:
+    """Replica placement as a QoS attribute (PR 8, sharded deployments)."""
+
+    def test_placement_lands_on_the_sealed_spec(self):
+        spec = QosBuilder().placement(replication_factor=3, policy="spread").build()
+        assert spec.placement is not None
+        assert spec.placement.replication_factor == 3
+        assert spec.placement.policy == "spread"
+
+    def test_placement_joins_the_plan_fingerprint(self):
+        plain = QosBuilder().build()
+        spread = QosBuilder().placement(replication_factor=3, policy="spread").build()
+        ring = QosBuilder().placement(replication_factor=3, policy="ring").build()
+        assert plain.fingerprint() != spread.fingerprint()
+        assert spread.fingerprint() != ring.fingerprint()
+
+    def test_placement_joins_the_sealed_plan_cache_key(self):
+        a = QosBuilder().placement(replication_factor=2).build()
+        b = QosBuilder().placement(replication_factor=2).build()
+        c = QosBuilder().placement(replication_factor=3).build()
+        assert a is b  # identical choices share one sealed spec
+        assert a is not c
+
+    def test_sparse_logical_ids_travel_through(self):
+        spec = (
+            QosBuilder()
+            .placement(replication_factor=2, logical_ids=(3, 7))
+            .build()
+        )
+        assert spec.placement.ids() == (3, 7)
+
+    def test_replication_needs_at_least_two_replicas(self):
+        with pytest.raises(ConfigurationError, match="at\n?\\s*least 2 replicas"):
+            (
+                QosBuilder()
+                .fault_tolerance("passive")
+                .placement(replication_factor=1)
+                .build()
+            )
+
+    def test_voting_needs_at_least_three_replicas(self):
+        with pytest.raises(ConfigurationError, match="replication_factor >= 3"):
+            (
+                QosBuilder()
+                .fault_tolerance("active", acceptance="vote")
+                .placement(replication_factor=2)
+                .build()
+            )
+
+    def test_invalid_policy_rejected_at_declaration(self):
+        with pytest.raises(ConfigurationError, match="placement policy"):
+            QosBuilder().placement(policy="bogus")

@@ -61,3 +61,24 @@ def test_kernel_is_platform_free():
         v for v in check_layering.check(REPO_ROOT / "src") if "platform" in v
     ]
     assert violations == []
+
+
+def test_routing_layer_is_platform_free():
+    """core.routing sits below every adapter: no platform imports allowed."""
+    assert "repro.core.routing" in check_layering.CONTRACTS
+    violations = [
+        v for v in check_layering.check(REPO_ROOT / "src") if "routing" in v
+    ]
+    assert violations == []
+
+
+def test_checker_flags_platform_import_in_routing(tmp_path):
+    pkg = tmp_path / "repro" / "core" / "routing"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (tmp_path / "repro" / "core" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "bad.py").write_text("from repro.core.adapters.http import HttpClientPlatform\n")
+    violations = check_layering.check(tmp_path)
+    assert len(violations) == 1
+    assert "repro.core.routing.bad" in violations[0]

@@ -11,7 +11,10 @@ This script AST-scans ``src/repro`` and fails (exit 1) on violations of:
 - the invocation kernel (``repro.core.platform``) and the other
   platform-independent core modules (request/interfaces/stub/skeleton/
   client/server/events) must not import platform packages either — only
-  the adapters and the deployment façade may.
+  the adapters and the deployment façade may;
+- the routing layer (``repro.core.routing``) is below every adapter: it
+  must not import platform packages, so the same consistent-hash views
+  serve CORBA, RMI, and HTTP without wire or naming changes.
 
 Usage::
 
@@ -44,6 +47,7 @@ CONTRACTS: dict[str, tuple[str, ...]] = {
     "repro.core.skeleton": PLATFORM_PACKAGES,
     "repro.core.client": PLATFORM_PACKAGES,
     "repro.core.server": PLATFORM_PACKAGES,
+    "repro.core.routing": PLATFORM_PACKAGES,
 }
 
 
