@@ -1,0 +1,261 @@
+"""Scatter-gather replica fan-out benchmark (PR 10).
+
+Two measurements over real TCP loopback, on both execution engines,
+written to ``BENCH_PR10.json``:
+
+1. **Fan-out scaling** — per-call p50 at 1 / 3 / 5 replicas for the
+   **sequential** baseline the pipeline replaced (one blocking
+   ``invoke_server`` per replica, one after another) against the
+   **pipelined** ActiveRep fan-out (all replicas submitted up front via
+   ``invoke_server_async``, replies gathered in completion order).  Every
+   replica carries a fixed ``SERVICE_S`` service time so the cells measure
+   the latency regime the fan-out exists for (per-replica latency >>
+   client-side CPU, as on any real network).  The sequential cost grows
+   linearly with the replica count; the pipelined cost must stay near the
+   single-replica invoke.
+
+2. **Gather policies under a straggler** — a 3-replica group whose third
+   replica delays every read; per-call p50 for ``all`` / ``first`` /
+   ``quorum:2`` / ``quorum:3``.  ``quorum:2`` demonstrates quorum
+   early-return (two fast matching replies answer, the straggler is
+   abandoned); ``quorum:3`` shows what early-return avoids (it must wait
+   for the straggler's matching reply).
+
+CI gates (exit 1 on violation), both evaluated on the async engine:
+
+- pipeline — pipelined ActiveRep p50 at 3 replicas must be within
+  ``PIPELINE_LIMIT`` (1.4x) of the single-replica invoke p50;
+- quorum early-return — ``quorum:2`` p50 must beat the straggler delay
+  while ``quorum:3`` p50 cannot.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fanout.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.bank import BankAccount, bank_compiled, bank_interface  # noqa: E402
+from repro.core.request import Request  # noqa: E402
+from repro.core.service import CqosDeployment  # noqa: E402
+from repro.qos import ActiveRep  # noqa: E402
+
+#: Pipelined ActiveRep p50 at 3 replicas may be at most this multiple of
+#: the single-replica invoke p50 (async engine).  The sequential baseline
+#: it replaced sits near 3.0x by construction.
+PIPELINE_LIMIT = 1.4
+#: Per-replica service time in the scaling cells: large against loopback
+#: latency (~1 ms) so the cells measure wire/servant latency — the thing
+#: pipelining hides — rather than client-side event-machinery CPU.
+SERVICE_S = 0.005
+#: The straggler's per-read delay in the policy cells.  Large against
+#: loopback latency (~1 ms) so the quorum verdicts are noise-proof.
+STRAGGLE_S = 0.05
+#: The platform the gates run on (the kernel fan-out path is shared; the
+#: other adapters differ only in conversion cost, which every cell pays).
+GATE_PLATFORM = "rmi"
+GATE_ENGINE = "async"
+
+WARMUP = 5
+
+
+class SlowBank(BankAccount):
+    """A replica servant that straggles on every read."""
+
+    def __init__(self, delay: float):
+        super().__init__()
+        self._delay = delay
+
+    def get_balance(self) -> float:
+        time.sleep(self._delay)
+        return super().get_balance()
+
+
+def _straggler_factory(delay: float, straggler_replica: int = 3):
+    built = [0]
+
+    def factory():
+        built[0] += 1
+        if built[0] == straggler_replica:
+            return SlowBank(delay)
+        return BankAccount()
+
+    return factory
+
+
+def _p50(callable_, calls: int) -> float:
+    for _ in range(min(WARMUP, calls)):  # warm binds, sockets, caches
+        callable_()
+    samples = []
+    for _ in range(calls):
+        t0 = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+# -- 1. fan-out scaling -------------------------------------------------------
+
+
+def run_fanout_scaling(engine: str, calls: int) -> dict:
+    rows = []
+    for replicas in (1, 3, 5):
+        deployment = CqosDeployment.over_tcp(
+            GATE_PLATFORM, bank_compiled(), engine=engine, request_timeout=30.0
+        )
+        try:
+            deployment.add_replicas(
+                "acct",
+                lambda: SlowBank(SERVICE_S),
+                bank_interface(),
+                replicas=replicas,
+            )
+            stub = deployment.client_stub(
+                "acct",
+                bank_interface(),
+                client_micro_protocols=lambda: [ActiveRep()],
+            )
+            platform = stub._platform
+
+            def sequential():
+                # The replaced behaviour: one blocking invoke per replica,
+                # strictly one after another.
+                request = Request("acct", "get_balance", [])
+                for server in range(1, replicas + 1):
+                    platform.invoke_server(server, request)
+
+            sequential_p50 = _p50(sequential, calls)
+            pipelined_p50 = _p50(stub.get_balance, calls)
+        finally:
+            deployment.close()
+        rows.append(
+            {
+                "engine": engine,
+                "replicas": replicas,
+                "calls": calls,
+                "sequential_p50_ms": round(sequential_p50 * 1e3, 3),
+                "pipelined_p50_ms": round(pipelined_p50 * 1e3, 3),
+                "speedup": round(sequential_p50 / pipelined_p50, 2)
+                if pipelined_p50 > 0
+                else None,
+            }
+        )
+        print(
+            f"fanout {engine:>8} {replicas} replica(s): "
+            f"sequential {rows[-1]['sequential_p50_ms']:>7} ms  "
+            f"pipelined {rows[-1]['pipelined_p50_ms']:>7} ms  "
+            f"x{rows[-1]['speedup']}"
+        )
+    single = rows[0]["pipelined_p50_ms"]
+    at_three = next(r for r in rows if r["replicas"] == 3)["pipelined_p50_ms"]
+    return {
+        "results": rows,
+        "pipelined_3_vs_1": round(at_three / single, 2) if single > 0 else None,
+    }
+
+
+# -- 2. gather policies under a straggler -------------------------------------
+
+
+def run_policies(engine: str, calls: int) -> dict:
+    rows = {}
+    for policy in ("all", "first", "quorum:2", "quorum:3"):
+        deployment = CqosDeployment.over_tcp(
+            GATE_PLATFORM, bank_compiled(), engine=engine, request_timeout=30.0
+        )
+        try:
+            deployment.add_replicas(
+                "acct",
+                _straggler_factory(STRAGGLE_S),
+                bank_interface(),
+                replicas=3,
+            )
+            stub = deployment.client_stub(
+                "acct",
+                bank_interface(),
+                client_micro_protocols=lambda: [ActiveRep(gather_policy=policy)],
+            )
+            rows[policy] = round(_p50(stub.get_balance, calls) * 1e3, 3)
+        finally:
+            deployment.close()
+        print(f"policy {engine:>8} {policy:>8}: p50 {rows[policy]:>8} ms")
+    return {
+        "engine": engine,
+        "replicas": 3,
+        "calls": calls,
+        "straggle_ms": STRAGGLE_S * 1e3,
+        "p50_ms": rows,
+    }
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny iteration counts (CI)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR10.json"),
+        help="output JSON path",
+    )
+    options = parser.parse_args(argv)
+
+    scaling_calls = 40 if options.smoke else 150
+    policy_calls = 12 if options.smoke else 60
+
+    scaling = {
+        engine: run_fanout_scaling(engine, scaling_calls)
+        for engine in ("threaded", "async")
+    }
+    policies = {
+        engine: run_policies(engine, policy_calls)
+        for engine in ("threaded", "async")
+    }
+
+    gate_scaling = scaling[GATE_ENGINE]
+    gate_policies = policies[GATE_ENGINE]["p50_ms"]
+    straggle_ms = STRAGGLE_S * 1e3
+    gates = {
+        "pipeline_limit": PIPELINE_LIMIT,
+        "pipeline_ok": gate_scaling["pipelined_3_vs_1"] <= PIPELINE_LIMIT,
+        "quorum_early_return_ok": (
+            gate_policies["quorum:2"] < straggle_ms
+            and gate_policies["quorum:3"] >= straggle_ms
+        ),
+    }
+    report = {
+        "bench": "fanout-pr10",
+        "smoke": options.smoke,
+        "fanout_scaling": scaling,
+        "gather_policies": policies,
+        "gates": gates,
+    }
+    Path(options.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {options.out}")
+    print(
+        f"pipelined 3v1 ({GATE_ENGINE}): {gate_scaling['pipelined_3_vs_1']}x "
+        f"(limit {PIPELINE_LIMIT}x)  quorum:2 {gate_policies['quorum:2']} ms / "
+        f"quorum:3 {gate_policies['quorum:3']} ms vs straggler {straggle_ms} ms"
+    )
+
+    failed = [name for name, ok in gates.items() if name.endswith("_ok") and not ok]
+    if failed:
+        print(f"FAIL: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

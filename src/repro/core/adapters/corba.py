@@ -114,6 +114,9 @@ class CorbaServerPlatform(_CorbaNamingMixin, BaseServerPlatform):
     def _send(self, endpoint: ObjectRef, operation: str, params: list, piggyback) -> Any:
         return endpoint.invoke_op(operation, params, dict(piggyback or {}))
 
+    def _send_async(self, endpoint: ObjectRef, operation: str, params: list, piggyback):
+        return endpoint.invoke_op_async(operation, params, dict(piggyback or {}))
+
 
 class CorbaClientPlatform(_CorbaNamingMixin, BaseClientPlatform):
     """Client-side Cactus QoS interface implementation on the ORB."""
@@ -147,6 +150,17 @@ class CorbaClientPlatform(_CorbaNamingMixin, BaseClientPlatform):
             dii.invoke()
             return dii.return_value()
         return endpoint.invoke_op(operation, params, dict(piggyback or {}))
+
+    def _send_async(self, endpoint: ObjectRef, operation: str, params: list, piggyback):
+        if self._use_dii:
+            # Deferred-synchronous DII: same request construction and wire
+            # bytes as invoke(); only the wait moves to the ReplyFuture.
+            dii = endpoint._create_request(operation)
+            for param in params:
+                dii.add_arg(param)
+            dii.set_context(dict(piggyback or {}))
+            return dii.send_deferred()
+        return endpoint.invoke_op_async(operation, params, dict(piggyback or {}))
 
 
 def install_corba_replica(

@@ -70,6 +70,12 @@ class _HttpRegistryMixin:
         address, object_id = endpoint
         return self._client.post(address, object_id, operation, params, piggyback=piggyback)
 
+    def _send_async(self, endpoint: tuple[str, str], operation: str, params: list, piggyback):
+        address, object_id = endpoint
+        return self._client.post_async(
+            address, object_id, operation, params, piggyback=piggyback
+        )
+
 
 class HttpServerPlatform(_HttpRegistryMixin, BaseServerPlatform):
     """Server-side Cactus QoS interface implementation on HTTP."""

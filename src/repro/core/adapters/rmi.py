@@ -70,6 +70,11 @@ class _RmiRegistryMixin:
             endpoint, operation, params, context=dict(piggyback or {})
         )
 
+    def _send_async(self, endpoint: RemoteRef, operation: str, params: list, piggyback):
+        return self._runtime.call_async(
+            endpoint, operation, params, context=dict(piggyback or {})
+        )
+
 
 class RmiServerPlatform(_RmiRegistryMixin, BaseServerPlatform):
     """Server-side Cactus QoS interface implementation on RMI."""

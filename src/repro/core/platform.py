@@ -39,10 +39,13 @@ This module must stay platform-agnostic: importing :mod:`repro.orb`,
 
 from __future__ import annotations
 
+import concurrent.futures
+import queue
 import re
 import threading
+import time
 from abc import abstractmethod
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.core.interfaces import ClientPlatform, ServerPlatform
 from repro.core.request import (
@@ -61,13 +64,16 @@ from repro.core.request import (
     Request,
 )
 from repro.core.routing import ReplicaDirectory, ShardRouter
+from repro.net.transport import ReplyFuture
 from repro.serialization.jser import jser_dumps, jser_loads
 from repro.util.errors import (
     AdmissionRejectedError,
     BindError,
     CommunicationError,
+    ConfigurationError,
     ServerFailedError,
     ShardMovedError,
+    TimeoutError_,
     is_retryable,
 )
 
@@ -323,6 +329,226 @@ def fault_action(error: BaseException | None) -> str:
     return ACTION_KEEP
 
 
+# -- scatter-gather fan-out ---------------------------------------------------
+#
+# The fan-out primitive of the replication protocols: submit every replica
+# request in one non-blocking pass (the async engine coalesces back-to-back
+# submissions into one writev-style syscall; the threaded mux pipelines them
+# on one socket), then gather completions in arrival order under a policy.
+# Policies:
+#
+# - "all"       — every branch is gathered (the historical semantics: active
+#                 replication collects all replies, passive forwarding joins
+#                 every backup);
+# - "first"     — the first *successful* reply wins; the remaining branches
+#                 are abandoned (correlation ids reclaimed, no waiter leak);
+# - "quorum:k"  — the k-th successful reply wins; no straggler wait.
+#
+# Abandoning a branch never cancels the remote execution — the request was
+# already sent — it only stops waiting locally, which is exactly-once safe
+# for the protocols that use it (active replication sends to every replica
+# regardless; the reply value is what is being raced).
+
+#: Environment knob selecting the replication gather policy.
+GATHER_POLICY_ENV = "CQOS_GATHER_POLICY"
+
+#: Valid gather-policy modes.
+GATHER_ALL = "all"
+GATHER_FIRST = "first"
+GATHER_QUORUM = "quorum"
+
+
+def parse_gather_policy(spec: str | None) -> tuple[str, int]:
+    """Parse a gather-policy spec into ``(mode, quorum_k)``.
+
+    Accepts ``"all"`` (default for ``None``/empty), ``"first"``, and
+    ``"quorum:k"`` with integer ``k >= 1`` (``"quorum"`` alone means
+    ``k=2``).  Raises :class:`~repro.util.errors.ConfigurationError` on
+    anything else — a silently ignored policy knob would be worse than a
+    loud one.
+    """
+    if spec is None or not spec.strip():
+        return (GATHER_ALL, 0)
+    text = spec.strip().lower()
+    if text in (GATHER_ALL, GATHER_FIRST):
+        return (text, 0)
+    if text == GATHER_QUORUM or text.startswith(GATHER_QUORUM + ":"):
+        _, _, raw_k = text.partition(":")
+        try:
+            quorum_k = int(raw_k) if raw_k else 2
+        except ValueError:
+            raise ConfigurationError(f"malformed quorum size in gather policy {spec!r}") from None
+        if quorum_k < 1:
+            raise ConfigurationError(f"quorum size must be >= 1, got {quorum_k}")
+        return (GATHER_QUORUM, quorum_k)
+    raise ConfigurationError(
+        f"unknown gather policy {spec!r}; expected 'all', 'first', or 'quorum:k'"
+    )
+
+
+def _once(fn: Callable[[], None]) -> Callable[[], None]:
+    """Wrap ``fn`` so concurrent/repeated invocations run it exactly once."""
+    lock = threading.Lock()
+    ran = [False]
+
+    def run() -> None:
+        with lock:
+            if ran[0]:
+                return
+            ran[0] = True
+        fn()
+
+    return run
+
+
+def threaded_reply_future(call: Callable[[], Any], name: str = "cqos-send-async") -> ReplyFuture:
+    """Run a blocking ``call()`` on a daemon thread; settle a ReplyFuture.
+
+    The fallback ``_send_async`` implementation for platforms that only
+    define a blocking ``_send`` (test fakes, decorated stacks): semantically
+    identical to the historical thread-per-replica fan-out.
+    """
+    future: concurrent.futures.Future = concurrent.futures.Future()
+
+    def run() -> None:
+        try:
+            result = call()
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+
+    threading.Thread(target=run, name=name, daemon=True).start()
+    return ReplyFuture(future)
+
+
+class BranchOutcome:
+    """The settled result of one scatter branch: ``value`` XOR ``error``."""
+
+    __slots__ = ("key", "value", "error")
+
+    def __init__(self, key: Any, value: Any, error: BaseException | None):
+        self.key = key
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        outcome = repr(self.value) if self.ok else f"error={self.error!r}"
+        return f"BranchOutcome({self.key}, {outcome})"
+
+
+class ScatterGather:
+    """One multicast fan-out: submit N branches, gather in completion order.
+
+    ``submit(key, fn)`` calls ``fn() -> ReplyFuture`` and registers the
+    branch; a submit-time raise is recorded as that branch's (immediate)
+    failure outcome rather than propagating, so one dead replica never
+    aborts the scatter pass.  Completion signals are queued at *wire*
+    settle time (done callbacks push the key only — no decode on transport
+    threads); ``next_outcome()`` resolves the branch on the gather thread,
+    where the substrate's lazy decode and fault bookkeeping run.
+
+    The scatter and gather sides may be different threads, but submissions
+    must happen-before the first ``next_outcome`` for the count to be
+    meaningful (all protocol users submit the full pass first).
+    """
+
+    def __init__(self) -> None:
+        self._signals: queue.SimpleQueue = queue.SimpleQueue()
+        self._branches: dict[Any, ReplyFuture] = {}
+        self._immediate: dict[Any, BranchOutcome] = {}
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._gathered = 0
+
+    def submit(self, key: Any, submit_fn: Callable[[], ReplyFuture]) -> None:
+        """Start one branch; its completion will surface via the queue."""
+        try:
+            reply = submit_fn()
+        except BaseException as exc:  # noqa: BLE001 - recorded as the outcome
+            with self._lock:
+                self._immediate[key] = BranchOutcome(key, None, exc)
+                self._submitted += 1
+            self._signals.put(key)
+            return
+        with self._lock:
+            self._branches[key] = reply
+            self._submitted += 1
+        reply.add_done_callback(lambda _reply, key=key: self._signals.put(key))
+
+    @property
+    def submitted(self) -> int:
+        return self._submitted
+
+    def remaining(self) -> int:
+        """Branches submitted but not yet gathered (nor abandoned)."""
+        with self._lock:
+            return self._submitted - self._gathered
+
+    def next_outcome(self, timeout: float | None = None) -> BranchOutcome | None:
+        """The next settled branch in completion order; None when drained.
+
+        Raises :class:`~repro.util.errors.TimeoutError_` if no branch
+        settles within ``timeout``.  Substrate decode (and its fault
+        side effects) run here, on the gather thread.
+        """
+        with self._lock:
+            if self._gathered >= self._submitted:
+                return None
+        try:
+            key = self._signals.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError_("scatter-gather: no branch completed within deadline") from None
+        with self._lock:
+            self._gathered += 1
+            immediate = self._immediate.pop(key, None)
+            reply = self._branches.pop(key, None)
+        if immediate is not None:
+            return immediate
+        if reply is None:  # abandoned concurrently; treat as drained signal
+            return BranchOutcome(key, None, TimeoutError_("exchange abandoned"))
+        try:
+            value = reply.result(timeout=0)
+        except BaseException as exc:  # noqa: BLE001 - per-branch outcome
+            return BranchOutcome(key, None, exc)
+        return BranchOutcome(key, value, None)
+
+    def gather_all(self, timeout: float | None = None) -> list[BranchOutcome]:
+        """Gather every remaining branch (per-branch errors inside outcomes).
+
+        ``timeout`` bounds the *whole* gather, not each branch.  Protocols
+        that fire-and-forget a multicast call this from a single pool task
+        so the substrates' lazy decode — and its binding-hygiene side
+        effects — still run, just off the submitting thread.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        outcomes: list[BranchOutcome] = []
+        while True:
+            wait = None if deadline is None else max(0.0, deadline - time.monotonic())
+            outcome = self.next_outcome(timeout=wait)
+            if outcome is None:
+                return outcomes
+            outcomes.append(outcome)
+
+    def abandon_rest(self) -> None:
+        """Abandon every ungathered branch: reclaim transport waiter state.
+
+        After this, ``next_outcome`` reports the scatter as drained.  Safe
+        against late completion signals (their keys are simply ignored).
+        """
+        with self._lock:
+            branches = list(self._branches.values())
+            self._branches.clear()
+            self._immediate.clear()
+            self._gathered = self._submitted
+        for reply in branches:
+            reply.abandon()
+
+
 # -- replica directory --------------------------------------------------------
 #
 # ReplicaDirectory moved to repro.core.routing.directory (the routing layer
@@ -374,6 +600,11 @@ class BaseClientPlatform(ClientPlatform):
             router=self.router,
             object_id=object_id,
         )
+        # Per-replica reply-latency EWMA, fed by every successful send (sync
+        # or async).  rank_servers() orders fan-out/balancing candidates by
+        # it, so quorum gathers tend to reach k before the slow stragglers.
+        self._latency_ewma: dict[int, float] = {}
+        self._latency_lock = threading.Lock()
 
     def add_observer(self, observer: InvocationObserver) -> None:
         self.observers.append(observer)
@@ -399,6 +630,19 @@ class BaseClientPlatform(ClientPlatform):
     @abstractmethod
     def _send(self, endpoint: Any, operation: str, params: list, piggyback: dict | None) -> Any:
         """Convert to a platform request, invoke it, return the reply value."""
+
+    def _send_async(
+        self, endpoint: Any, operation: str, params: list, piggyback: dict | None
+    ) -> ReplyFuture:
+        """Non-blocking ``_send``; delivery failures settle the future.
+
+        Default: one daemon thread around the blocking codec, so subclasses
+        that only define ``_send`` (test fakes, wrappers) work unchanged.
+        The real adapters override this with their substrate's native
+        pipelined submit (eager encode, lazy decode — wire bytes identical
+        to the blocking path).
+        """
+        return threaded_reply_future(lambda: self._send(endpoint, operation, params, piggyback))
 
     # -- Cactus QoS interface (shared lifecycle) ----------------------------
 
@@ -465,6 +709,7 @@ class BaseClientPlatform(ClientPlatform):
         if lease is not None:
             request.piggyback[PB_VIEW_VERSION] = lease.view.version
         notify_observers(self.observers, "on_wire_send", request, server)
+        started = time.monotonic()
         try:
             value = self._send(
                 endpoint, request.operation, request.get_params(), dict(request.piggyback)
@@ -479,6 +724,7 @@ class BaseClientPlatform(ClientPlatform):
         finally:
             if lease is not None:
                 lease.release()
+        self.record_latency(server, time.monotonic() - started)
         value, reply_piggyback = unwrap_reply_value(value)
         if reply_piggyback:
             request.reply_piggyback.update(reply_piggyback)
@@ -489,6 +735,93 @@ class BaseClientPlatform(ClientPlatform):
                 self.refresh()
         notify_observers(self.observers, "on_wire_reply", request, server, value)
         return value
+
+    def invoke_server_async(self, server: int, request: Request) -> ReplyFuture:
+        """Non-blocking :meth:`invoke_server`: submit now, settle later.
+
+        Submit-time work (bind, endpoint resolution, view-lease pinning,
+        ``on_wire_send``) runs on the caller's thread and may raise
+        :class:`~repro.util.errors.BindError` — :class:`ScatterGather`
+        records such raises as immediate branch failures.  Everything after
+        the wire settles runs lazily at ``result()`` on the consumer's
+        thread: reply unwrap, view-delta pull, fault taxonomy, observers.
+        A :class:`~repro.util.errors.ShardMovedError` outcome falls back to
+        the blocking redirect-following path (rare rebalance window; the
+        old owner refused without executing, so the resend is exactly-once
+        safe).  The view lease is released at wire settle *or* abandon,
+        whichever comes first, so abandoned stragglers cannot pin a retired
+        view forever.
+        """
+        self.directory.bind(server)
+        endpoint = self.directory.endpoint(server)
+        lease = self.router.lease() if self.router.sharded else None
+        if lease is not None:
+            request.piggyback[PB_VIEW_VERSION] = lease.view.version
+        notify_observers(self.observers, "on_wire_send", request, server)
+        started = time.monotonic()
+        reply = self._send_async(
+            endpoint, request.operation, request.get_params(), dict(request.piggyback)
+        )
+        if lease is not None:
+            release = _once(lease.release)
+            reply.add_done_callback(lambda _reply: release())
+            reply.chain_abandon(release)
+
+        def on_value(value: Any) -> Any:
+            self.record_latency(server, time.monotonic() - started)
+            value, reply_piggyback = unwrap_reply_value(value)
+            if reply_piggyback:
+                request.reply_piggyback.update(reply_piggyback)
+                delta = reply_piggyback.get(PB_VIEW_DELTA)
+                if delta is not None and not self.router.apply_delta(delta):
+                    self.refresh()
+            notify_observers(self.observers, "on_wire_reply", request, server, value)
+            return value
+
+        def on_error(exc: BaseException) -> Any:
+            self.directory.apply_fault(server, exc)
+            notify_observers(self.observers, "on_wire_failure", request, server, exc)
+            if isinstance(exc, ShardMovedError):
+                return self.invoke_server(server, request)
+            raise exc
+
+        return reply.then(on_value, on_error)
+
+    # -- latency ranking -----------------------------------------------------
+
+    #: EWMA smoothing factor for per-replica reply latency.
+    LATENCY_ALPHA = 0.3
+
+    def record_latency(self, server: int, seconds: float) -> None:
+        """Fold one successful reply's latency into the replica's EWMA."""
+        with self._latency_lock:
+            previous = self._latency_ewma.get(server)
+            if previous is None:
+                self._latency_ewma[server] = seconds
+            else:
+                alpha = self.LATENCY_ALPHA
+                self._latency_ewma[server] = alpha * seconds + (1 - alpha) * previous
+
+    def latency_estimate(self, server: int) -> float | None:
+        """The replica's current reply-latency EWMA (None if never seen)."""
+        with self._latency_lock:
+            return self._latency_ewma.get(server)
+
+    def rank_servers(self, candidates: Iterable[int]) -> tuple[int, ...]:
+        """Order candidate replicas fastest-first by latency EWMA.
+
+        Replicas with no measurement yet keep their incoming (logical-id)
+        order, after the measured ones — a cold replica is probed only once
+        the known-fast ones are in flight, which is the right bias for
+        quorum gathers and for balancing cold starts alike.
+        """
+        candidates = list(candidates)
+        with self._latency_lock:
+            snapshot = dict(self._latency_ewma)
+        measured = [server for server in candidates if server in snapshot]
+        measured.sort(key=lambda server: snapshot[server])
+        unmeasured = [server for server in candidates if server not in snapshot]
+        return tuple(measured + unmeasured)
 
 
 # -- server platform base ------------------------------------------------------
@@ -556,6 +889,27 @@ class BaseServerPlatform(ServerPlatform):
     def num_replicas(self) -> int:
         return self._total
 
+    def replica_ids(self) -> tuple[int, ...]:
+        """Logical ids of this object's replica group (sparse when sharded).
+
+        The server-side counterpart of the client's ``server_ids()``: when
+        an authoritative :class:`~repro.core.routing.ShardRouter` is
+        attached and sharded, the group comes from its view — the logical
+        numbers need not be contiguous nor start at 1 — otherwise the
+        historical dense ``1..num_replicas()`` enumeration.
+        """
+        if self.router is not None and self.router.sharded:
+            ids = self.router.route(self.object_id)
+            if ids:
+                return tuple(ids)
+        return tuple(range(1, self._total + 1))
+
+    def _send_async(
+        self, endpoint: Any, operation: str, params: list, piggyback: dict | None
+    ) -> ReplyFuture:
+        """Non-blocking ``_send`` (same default/override split as the client)."""
+        return threaded_reply_future(lambda: self._send(endpoint, operation, params, piggyback))
+
     def peer_invoke(self, replica: int, kind: str, payload: dict) -> Any:
         endpoint = self.peers.endpoint(replica)
         try:
@@ -565,6 +919,28 @@ class BaseServerPlatform(ServerPlatform):
         except CommunicationError:
             self.peers.drop(replica)
             raise
+
+    def peer_invoke_async(self, replica: int, kind: str, payload: dict) -> ReplyFuture:
+        """Non-blocking :meth:`peer_invoke`; same taxonomy at ``result()``.
+
+        May raise :class:`~repro.util.errors.BindError` at submit time (no
+        such peer) — :class:`ScatterGather` records that as the branch
+        outcome.  A ``CommunicationError`` outcome drops the peer binding
+        when the result is consumed; multicast protocols drain their
+        scatter from one pool task precisely so this binding hygiene still
+        runs off the submitting thread.
+        """
+        endpoint = self.peers.endpoint(replica)
+        reply = self._send_async(
+            endpoint, CONTROL_OPERATION, [kind, self._replica, payload], None
+        )
+
+        def on_error(exc: BaseException) -> Any:
+            if isinstance(exc, CommunicationError):
+                self.peers.drop(replica)
+            raise exc
+
+        return reply.then(None, on_error)
 
     def peer_status(self, replica: int) -> bool:
         try:

@@ -62,6 +62,49 @@ class HttpClient:
         except CommunicationError:
             self.drop_connection(address, connection)
             raise
+        return self._decode_response(frame)
+
+    def post_async(
+        self,
+        address: str,
+        object_id: str,
+        operation: str,
+        arguments: list,
+        piggyback: dict | None = None,
+        timeout: float | None = None,
+    ):
+        """Non-blocking :meth:`post`; returns a ReplyFuture of the value.
+
+        Formatted eagerly with the same request builder (wire bytes
+        identical to the blocking path); response parsing runs lazily on
+        the consumer's thread.  Never raises — submit-time failures settle
+        the future.
+        """
+        request = HttpRequest(
+            method="POST",
+            path=f"/objects/{object_id}/{operation}",
+            headers=piggyback_headers(piggyback or {}),
+            body=jser_dumps(arguments),
+        )
+        frame = format_request(request)
+        try:
+            connection = self._connection(address)
+        except Exception as exc:  # noqa: BLE001 - delivered via the future
+            from repro.net.transport import ReplyFuture
+
+            return ReplyFuture.failed(exc)
+
+        def on_error(exc: BaseException):
+            if isinstance(exc, CommunicationError):
+                self.drop_connection(address, connection)
+            raise exc
+
+        return connection.call_async(frame, timeout=timeout).then(
+            self._decode_response, on_error
+        )
+
+    def _decode_response(self, frame: bytes) -> Any:
+        """Parse a raw HTTP response frame; map the error taxonomy."""
         response = parse_response(frame)
         if response.status == 200:
             return jser_loads(response.body) if response.body else None

@@ -58,7 +58,7 @@ import time
 import weakref
 
 from repro.net.framing import FrameDecoder, FRAME_HEADER, check_frame_size
-from repro.net.transport import Connection, FrameHandler, Listener
+from repro.net.transport import Connection, FrameHandler, Listener, ReplyFuture
 from repro.util.errors import (
     CommunicationError,
     FrameTooLargeError,
@@ -374,7 +374,13 @@ class AsyncMuxConnection(Connection):
 
     # -- Connection interface ----------------------------------------------
 
-    def call(self, data: bytes, timeout: float | None = None) -> bytes:
+    def _submit(self, data: bytes) -> tuple[int, concurrent.futures.Future]:
+        """Queue one frame for the leader-writer drain; no reply wait.
+
+        Shared by :meth:`call` and :meth:`call_async` — a scatter loop that
+        submits N frames back-to-back lands them in one deque drain, so the
+        whole fan-out leaves in a single coalesced ``send`` syscall.
+        """
         if self._closed:
             raise CommunicationError("connection is closed")
         check_frame_size(len(data))
@@ -395,6 +401,10 @@ class AsyncMuxConnection(Connection):
                 if not self._runtime.call_soon(self._kick_connect):
                     self._submissions.clear()
                     raise CommunicationError("connection is closed")
+        return request_id, future
+
+    def call(self, data: bytes, timeout: float | None = None) -> bytes:
+        request_id, future = self._submit(data)
         try:
             return future.result(timeout)
         except concurrent.futures.TimeoutError:
@@ -404,6 +414,21 @@ class AsyncMuxConnection(Connection):
             raise TimeoutError_(f"call to {self._address} timed out") from None
         except concurrent.futures.CancelledError:
             raise CommunicationError("connection is closed") from None
+
+    def call_async(self, data: bytes, timeout: float | None = None) -> ReplyFuture:
+        """Non-blocking submit; never raises (failures settle the future).
+
+        Abandoning hops to the loop thread (where ``_pending`` is affine)
+        exactly as a timed-out synchronous call does.
+        """
+        try:
+            request_id, future = self._submit(data)
+        except CommunicationError as exc:  # includes FrameTooLargeError
+            return ReplyFuture.failed(exc)
+        return ReplyFuture(
+            future,
+            abandon=lambda: self._runtime.call_soon(self._abandon, request_id),
+        )
 
     def close(self) -> None:
         self._closed = True

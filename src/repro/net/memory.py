@@ -27,7 +27,17 @@ from __future__ import annotations
 import random
 import threading
 
-from repro.net.transport import Connection, FrameHandler, Host, Listener, Network, split_address
+import concurrent.futures
+
+from repro.net.transport import (
+    Connection,
+    FrameHandler,
+    Host,
+    Listener,
+    Network,
+    ReplyFuture,
+    split_address,
+)
 from repro.util.clock import Clock, RealClock
 from repro.util.errors import CommunicationError, ServerFailedError
 
@@ -70,6 +80,34 @@ class _MemoryConnection(Connection):
             with self._serial_lock:
                 return self._network._deliver(self._source, self._address, data)
         return self._network._deliver(self._source, self._address, data)
+
+    def call_async(self, data: bytes, timeout: float | None = None) -> ReplyFuture:
+        """Non-blocking submit over the handler-on-caller-thread model.
+
+        The in-memory network executes the server handler synchronously on
+        whatever thread delivers the request, so one dispatch thread per
+        in-flight call *is* this transport's native concurrency unit (it is
+        what the listener side of real TCP does too).  Threads are never
+        pooled here: a bounded pool could deadlock when a handler blocks on
+        nested async calls (replica forwarding chains), and the unbounded
+        case is exactly a thread per call anyway.
+        """
+        if self._closed:
+            return ReplyFuture.failed(CommunicationError("connection is closed"))
+        future = concurrent.futures.Future()
+
+        def run() -> None:
+            try:
+                reply = self.call(data, timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+            else:
+                future.set_result(reply)
+
+        threading.Thread(
+            target=run, name=f"mem-async-{self._address}", daemon=True
+        ).start()
+        return ReplyFuture(future)
 
     def close(self) -> None:
         self._closed = True

@@ -44,8 +44,18 @@ import struct
 import threading
 import time
 
+import concurrent.futures
+
 from repro.net.framing import FRAME_HEADER, LEN_HEADER, MAX_FRAME
-from repro.net.transport import Connection, FrameHandler, Host, Listener, Network, split_address
+from repro.net.transport import (
+    Connection,
+    FrameHandler,
+    Host,
+    Listener,
+    Network,
+    ReplyFuture,
+    split_address,
+)
 from repro.util.errors import (
     CommunicationError,
     ConfigurationError,
@@ -484,14 +494,34 @@ class _TcpConnection(Connection):
 
 
 class _PendingReply:
-    """One in-flight request awaiting its correlated reply."""
+    """One in-flight request awaiting its correlated reply.
 
-    __slots__ = ("value", "error", "done")
+    ``future`` is set only for :meth:`Connection.call_async` submissions:
+    settling the slot then also settles the caller's future (the slot stays
+    the single source of truth so sync and async waiters share every
+    completion path — leader reads, demux reads, resets).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("value", "error", "done", "future")
+
+    def __init__(self, future: concurrent.futures.Future | None = None) -> None:
         self.value: bytes | None = None
         self.error: BaseException | None = None
         self.done = False
+        self.future = future
+
+    def settle(self, value: bytes | None, error: BaseException | None) -> None:
+        """Complete the slot (and its future, if any).  Idempotent."""
+        if self.done:
+            return
+        self.value = value
+        self.error = error
+        self.done = True
+        if self.future is not None:
+            if error is not None:
+                self.future.set_exception(error)
+            else:
+                self.future.set_result(value)
 
 
 class _TcpMuxConnection(Connection):
@@ -524,6 +554,10 @@ class _TcpMuxConnection(Connection):
         self._ids = itertools.count(1)
         self._reader_active = False
         self._closed = False
+        # Background demultiplexer: started lazily by the first call_async
+        # so purely-synchronous workloads keep the historical zero-thread
+        # leader/follower path (and its leader-timeout reset semantics).
+        self._demux_started = False
 
     # -- socket management (called with self._cond held) -------------------
 
@@ -547,9 +581,7 @@ class _TcpMuxConnection(Connection):
                 pass
             self._sock = None
         for slot in self._pending.values():
-            if not slot.done:
-                slot.error = error
-                slot.done = True
+            slot.settle(None, error)
         self._pending.clear()
         self._reader_active = False
         self._cond.notify_all()
@@ -651,12 +683,11 @@ class _TcpMuxConnection(Connection):
                 # Leader timeout: the read may have stopped mid-frame, so
                 # the stream can no longer be trusted — reset everything.
                 with self._cond:
+                    slot.settle(None, TimeoutError_(f"call to {self._address} timed out"))
                     self._fail_all_locked(
                         sock,
                         CommunicationError(f"call to {self._address} timed out"),
                     )
-                    slot.error = TimeoutError_(f"call to {self._address} timed out")
-                    slot.done = True
                 raise slot.error from exc
             except (OSError, CommunicationError, FrameTooLargeError) as exc:
                 error = CommunicationError(f"call to {self._address} failed: {exc}")
@@ -666,14 +697,156 @@ class _TcpMuxConnection(Connection):
             with self._cond:
                 arrived = self._pending.pop(reply_id, None)
                 if arrived is not None:
-                    arrived.value = payload
-                    arrived.done = True
+                    arrived.settle(payload, None)
                 if reply_id == request_id:
                     # Step down and promote a waiting follower (if any).
                     self._reader_active = False
                     self._cond.notify_all()
                     return
                 if arrived is not None:
+                    self._cond.notify_all()
+
+    # -- non-blocking submit (futures API) ---------------------------------
+
+    def call_async(self, data: bytes, timeout: float | None = None) -> ReplyFuture:
+        """Register a correlation id, write the frame, return immediately.
+
+        Never raises: submit-time failures (oversized frame, dead endpoint,
+        write error) settle the returned future, so a scatter loop records
+        them as branch outcomes instead of aborting mid-fan-out.  Replies
+        are completed by whichever reader is active — a synchronous caller
+        leading reads, or the lazily-started background demultiplexer that
+        covers the window when only async calls are in flight.  ``timeout``
+        is enforced by the consumer (``result(timeout)``); an abandoned
+        call's pending entry is reclaimed via :meth:`ReplyFuture.abandon`.
+        """
+        if len(data) > _MAX_FRAME:
+            return ReplyFuture.failed(
+                FrameTooLargeError(
+                    f"frame too large: {len(data)} bytes (max {_MAX_FRAME})"
+                )
+            )
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        slot = _PendingReply(future)
+        with self._cond:
+            if self._closed:
+                return ReplyFuture.failed(CommunicationError("connection is closed"))
+            try:
+                sock = self._ensure_socket()
+            except ServerFailedError as exc:
+                return ReplyFuture.failed(exc)
+            except OSError as exc:
+                return ReplyFuture.failed(
+                    CommunicationError(f"call to {self._address} failed: {exc}")
+                )
+            request_id = next(self._ids)
+            self._pending[request_id] = slot
+            if not self._demux_started:
+                self._demux_started = True
+                threading.Thread(
+                    target=self._demux_loop,
+                    name=f"tcp-demux-{self._address}",
+                    daemon=True,
+                ).start()
+        reply = ReplyFuture(future, abandon=lambda: self._abandon(request_id))
+        try:
+            with self._write_lock:
+                write_frame_mux(sock, request_id, data)
+        except socket.timeout as exc:
+            with self._cond:
+                slot.settle(None, TimeoutError_(f"call to {self._address} timed out"))
+                self._fail_all_locked(
+                    sock, CommunicationError(f"call to {self._address} failed: {exc}")
+                )
+            return reply
+        except OSError as exc:
+            with self._cond:
+                self._fail_all_locked(
+                    sock, CommunicationError(f"call to {self._address} failed: {exc}")
+                )
+            return reply
+        with self._cond:
+            # Wake the demultiplexer if no reader currently owns the socket.
+            if not self._reader_active:
+                self._cond.notify_all()
+        return reply
+
+    def _abandon(self, request_id: int) -> None:
+        """Reclaim one pending entry; a late reply is discarded on arrival."""
+        with self._cond:
+            self._pending.pop(request_id, None)
+            self._cond.notify_all()
+
+    def _demux_loop(self) -> None:
+        """Take the readership whenever async calls are in flight unled.
+
+        The demultiplexer polls with :func:`select.select` *between* frames
+        and only commits to a blocking frame read once the socket is
+        readable, so its idle ticks can never stop mid-frame — unlike a
+        leader deadline, a poll timeout leaves the stream intact.  It steps
+        down (releasing the readership to synchronous leaders) whenever the
+        pending map drains.
+        """
+        while True:
+            with self._cond:
+                sock = None
+                while sock is None:
+                    if self._closed:
+                        return
+                    if (
+                        not self._reader_active
+                        and self._pending
+                        and self._sock is not None
+                    ):
+                        self._reader_active = True
+                        sock = self._sock
+                    else:
+                        self._cond.wait(0.5)
+            self._demux_reads(sock)
+
+    def _demux_reads(self, sock: socket.socket) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                if self._sock is not sock:
+                    # A reset replaced the socket; leadership was already
+                    # released by _fail_all_locked.
+                    return
+                if not self._pending:
+                    self._reader_active = False
+                    self._cond.notify_all()
+                    return
+            try:
+                readable, _, _ = select.select([sock], [], [], 0.05)
+            except (OSError, ValueError):
+                readable = []
+                with self._cond:
+                    if self._sock is sock:
+                        self._fail_all_locked(
+                            sock,
+                            CommunicationError(f"call to {self._address} failed"),
+                        )
+                    return
+            if not readable:
+                continue
+            try:
+                sock.settimeout(None)
+                reply_id, payload = read_frame_mux(sock)
+            except (OSError, CommunicationError, FrameTooLargeError) as exc:
+                with self._cond:
+                    if self._sock is sock:
+                        self._fail_all_locked(
+                            sock,
+                            CommunicationError(
+                                f"call to {self._address} failed: {exc}"
+                            ),
+                        )
+                return
+            with self._cond:
+                arrived = self._pending.pop(reply_id, None)
+                if arrived is not None:
+                    arrived.settle(payload, None)
                     self._cond.notify_all()
 
     def close(self) -> None:

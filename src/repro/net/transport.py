@@ -11,8 +11,12 @@ Addresses are strings of the form ``"host/service"``.
 
 from __future__ import annotations
 
+import concurrent.futures
+import threading
 from abc import ABC, abstractmethod
 from typing import Callable
+
+from repro.util.errors import TimeoutError_
 
 # A request handler consumes a request frame and produces a reply frame.
 FrameHandler = Callable[[bytes], bytes]
@@ -36,6 +40,143 @@ def blocking_handler(func):
     return func
 
 
+class ReplyFuture:
+    """The non-blocking half of one request/reply exchange.
+
+    Wraps a :class:`concurrent.futures.Future` carrying the raw reply frame
+    (or the delivery error) plus an optional lazy *transform chain* — the
+    decode steps the substrates (GIOP/JRMP/HTTP) attach via :meth:`then`.
+    Transforms run on the **consumer's** thread at :meth:`result` time, never
+    on a transport reader or event-loop thread, and their outcome is cached
+    so decode and its side effects (connection-pool drops) happen once.
+
+    :meth:`add_done_callback` fires when the *wire* exchange settles (reply
+    frame arrived or delivery failed) — before any transform runs — which is
+    what scatter-gather needs to order completions without paying decode on
+    the signalling thread.
+    """
+
+    __slots__ = ("_future", "_steps", "_abandon_hook", "_lock", "_resolved",
+                 "_value", "_error")
+
+    def __init__(self, future=None, *, abandon=None):
+        self._future = future if future is not None else concurrent.futures.Future()
+        self._steps: tuple = ()
+        self._abandon_hook = abandon
+        self._lock = threading.Lock()
+        self._resolved = False
+        self._value = None
+        self._error: BaseException | None = None
+
+    # -- producers ---------------------------------------------------------
+
+    @classmethod
+    def resolved(cls, value) -> "ReplyFuture":
+        """A future already completed with ``value``."""
+        future = concurrent.futures.Future()
+        future.set_result(value)
+        return cls(future)
+
+    @classmethod
+    def failed(cls, error: BaseException) -> "ReplyFuture":
+        """A future already failed with ``error``."""
+        future = concurrent.futures.Future()
+        future.set_exception(error)
+        return cls(future)
+
+    # -- consumers ---------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the underlying exchange settled (reply or error)."""
+        return self._future.done()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` when the exchange settles (immediately if done).
+
+        The callback runs on whichever thread settles the future (a
+        transport reader or event-loop thread): it must be cheap and must
+        not block — push to a queue and consume elsewhere.
+        """
+        self._future.add_done_callback(lambda _f: fn(self))
+
+    def result(self, timeout: float | None = None):
+        """Block for the reply, apply the transform chain, return the value.
+
+        Raises :class:`~repro.util.errors.TimeoutError_` if the exchange has
+        not settled within ``timeout`` (the transforms are *not* consulted —
+        the call may still complete later); afterwards re-raisable /
+        re-callable with the cached outcome.
+        """
+        with self._lock:
+            if not self._resolved:
+                try:
+                    value, error = self._future.result(timeout), None
+                except concurrent.futures.TimeoutError:
+                    raise TimeoutError_("no reply within deadline") from None
+                except concurrent.futures.CancelledError:
+                    value, error = None, TimeoutError_("exchange abandoned")
+                except BaseException as exc:  # noqa: BLE001 - fed to on_error
+                    value, error = None, exc
+                for on_value, on_error in self._steps:
+                    if error is None:
+                        if on_value is None:
+                            continue
+                        try:
+                            value = on_value(value)
+                        except BaseException as exc:  # noqa: BLE001
+                            value, error = None, exc
+                    elif on_error is not None:
+                        try:
+                            value, error = on_error(error), None
+                        except BaseException as exc:  # noqa: BLE001
+                            value, error = None, exc
+                self._value, self._error, self._resolved = value, error, True
+            if self._error is not None:
+                raise self._error
+            return self._value
+
+    def then(self, on_value=None, on_error=None) -> "ReplyFuture":
+        """Append a lazy transform step; returns ``self`` for chaining.
+
+        ``on_value(raw)`` maps a successful reply (e.g. decode); ``on_error
+        (exc)`` observes a failure and either returns a recovery value or
+        raises the (mapped) error.  Steps run in order at :meth:`result`.
+        """
+        self._steps = self._steps + ((on_value, on_error),)
+        return self
+
+    def abandon(self) -> None:
+        """Give up on the reply: release transport-side waiter state.
+
+        Idempotent and safe after completion.  The request was already sent
+        — abandoning does not un-execute it; it only guarantees the local
+        correlation-id entry is reclaimed (no waiter leak) and that a reply
+        arriving later is discarded.
+        """
+        hook, self._abandon_hook = self._abandon_hook, None
+        if hook is not None:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - abandon must never raise
+                pass
+
+    def chain_abandon(self, fn) -> None:
+        """Also run ``fn`` when this future is abandoned.
+
+        Layers above the transport (the invocation kernel) hang their own
+        cleanup — e.g. releasing a routing-view lease for a branch whose
+        reply will never arrive — off the same abandon signal.
+        """
+        prev = self._abandon_hook
+
+        def hook() -> None:
+            if prev is not None:
+                prev()
+            fn()
+
+        self._abandon_hook = hook
+
+
 class Connection(ABC):
     """A client-side handle for blocking request/reply exchanges."""
 
@@ -52,6 +193,30 @@ class Connection(ABC):
         is crashed, partitioned away, or the message is lost, and
         :class:`~repro.util.errors.TimeoutError_` on deadline expiry.
         """
+
+    def call_async(self, data: bytes, timeout: float | None = None) -> ReplyFuture:
+        """Send ``data`` without blocking; the reply settles the future.
+
+        Default implementation: one daemon thread per call wrapping the
+        blocking :meth:`call` — semantically identical to the historical
+        thread-per-replica fan-out, so decorating transports (chaos) keep
+        their per-call fault model without knowing about futures.  The
+        multiplexed transports override this with a native non-blocking
+        submit (one registered correlation id, no thread per call).
+        """
+        future = concurrent.futures.Future()
+
+        def run() -> None:
+            try:
+                result = self.call(data, timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001 - delivered via future
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+        thread = threading.Thread(target=run, name="cqos-call-async", daemon=True)
+        thread.start()
+        return ReplyFuture(future)
 
     @abstractmethod
     def close(self) -> None:

@@ -34,6 +34,7 @@ class DiiRequest:
         self._context: dict = {}
         self._result: Any = self._PENDING
         self._exception: BaseException | None = None
+        self._deferred = None  # ReplyFuture from send_deferred()
 
     @property
     def operation(self) -> str:
@@ -87,6 +88,37 @@ class DiiRequest:
             self._result = orb.invoke(
                 self._target.ior, self._operation, list(self._arguments), self._context
             )
+            self._exception = None
+        except BaseException as exc:  # noqa: BLE001 - DII stores the outcome
+            self._exception = exc
+            self._result = self._PENDING
+
+    def send_deferred(self):
+        """CORBA deferred-synchronous invoke: submit now, harvest later.
+
+        Returns the underlying ReplyFuture (also retained for
+        :meth:`poll_response`/:meth:`get_response`).  The request leaves
+        with the same wire bytes as :meth:`invoke`; only the wait moves.
+        """
+        self._check_against_metadata()
+        orb = self._target._orb
+        self._deferred = orb.invoke_async(
+            self._target.ior, self._operation, list(self._arguments), self._context
+        )
+        return self._deferred
+
+    def poll_response(self) -> bool:
+        """True once a deferred invocation's reply has arrived."""
+        if self._deferred is None:
+            raise ReproError("request has not been sent deferred")
+        return self._deferred.done()
+
+    def get_response(self, timeout: float | None = None) -> None:
+        """Harvest a deferred invocation; stores the outcome like invoke()."""
+        if self._deferred is None:
+            raise ReproError("request has not been sent deferred")
+        try:
+            self._result = self._deferred.result(timeout)
             self._exception = None
         except BaseException as exc:  # noqa: BLE001 - DII stores the outcome
             self._exception = exc

@@ -55,6 +55,10 @@ class ObjectRef:
         """Convenience synchronous invocation without a generated stub."""
         return self._orb.invoke(self.ior, operation, arguments, context or {})
 
+    def invoke_op_async(self, operation: str, arguments: list, context: dict | None = None):
+        """Non-blocking :meth:`invoke_op`; returns a ReplyFuture."""
+        return self._orb.invoke_async(self.ior, operation, arguments, context or {})
+
     def __repr__(self) -> str:
         return f"ObjectRef({self.ior.type_id}, {self.ior.address}, {self.ior.object_key})"
 
@@ -185,6 +189,50 @@ class Orb:
             return None
         return reply.body
 
+    def invoke_async(
+        self,
+        ior: IOR,
+        operation: str,
+        arguments: list,
+        context: dict,
+        response_expected: bool = True,
+        timeout: float | None = None,
+    ):
+        """Non-blocking :meth:`invoke`: returns a ReplyFuture of the value.
+
+        The request is encoded eagerly with the same encoder (the wire
+        bytes are identical to the blocking path) and submitted without
+        waiting; GIOP decode and exception-status mapping run lazily on the
+        consumer's thread at ``result()`` time.  Never raises — submit-time
+        failures settle the future.
+        """
+        request = giop.RequestMessage(
+            request_id=self._request_ids.next_int(),
+            object_key=ior.object_key,
+            operation=operation,
+            arguments=arguments,
+            context=context,
+            response_expected=response_expected,
+        )
+        frame = giop.encode_request(request)
+        try:
+            connection = self._connection(ior.address)
+        except Exception as exc:  # noqa: BLE001 - delivered via the future
+            from repro.net.transport import ReplyFuture
+
+            return ReplyFuture.failed(exc)
+
+        def on_error(exc: BaseException):
+            if isinstance(exc, CommunicationError):
+                self.drop_connection(ior.address, connection)
+            raise exc
+
+        def decode(reply_frame: bytes):
+            reply = self._decode_reply(reply_frame)
+            return None if reply is None else reply.body
+
+        return connection.call_async(frame, timeout=timeout).then(decode, on_error)
+
     def invoke_typed(
         self,
         ior: IOR,
@@ -227,6 +275,10 @@ class Orb:
         except CommunicationError:
             self.drop_connection(ior.address, connection)
             raise
+        return self._decode_reply(reply_frame)
+
+    def _decode_reply(self, reply_frame: bytes) -> giop.ReplyMessage:
+        """Decode a raw reply frame; map GIOP exception statuses."""
         reply = giop.decode_message(reply_frame)
         if not isinstance(reply, giop.ReplyMessage):
             raise CommunicationError("expected a GIOP reply message")

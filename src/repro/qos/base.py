@@ -67,6 +67,18 @@ def replica_ids(platform: ClientPlatform) -> tuple[int, ...]:
     return tuple(range(1, platform.num_servers() + 1))
 
 
+def server_replica_ids(platform: ServerPlatform) -> tuple[int, ...]:
+    """The server-side replica group's logical ids (client counterpart above).
+
+    Replication protocols multicast to this instead of assuming a dense
+    ``range(1, num_replicas()+1)`` — under sharding the group is sparse.
+    """
+    ids = getattr(platform, "replica_ids", None)
+    if ids is not None:
+        return ids()
+    return tuple(range(1, platform.num_replicas() + 1))
+
+
 @register_micro_protocol("ClientBase")
 class ClientBase(MicroProtocol):
     """The default client-side pipeline (see module docstring)."""

@@ -223,12 +223,18 @@ class LoadBalance(MicroProtocol):
         """Pick a replica: explore cold ones first, then power-of-two-choices.
 
         Cold replicas (no latency samples yet) are ranked by the last polled
-        load; warm replicas compete pairwise on ``EWMA × (outstanding+1)``.
+        load, ties broken by the *incoming candidate order* (the assigner
+        pre-ranks candidates by the kernel's latency EWMA when the platform
+        has one, so a replica another protocol already measured as fast is
+        explored before an arbitrary logical id); warm replicas compete
+        pairwise on ``EWMA × (outstanding+1)``.
         """
         with self._lock:
             cold = [s for s in candidates if s not in self._ewma]
             if cold:
-                chosen = min(cold, key=lambda s: (self._loads.get(s, 0), s))
+                chosen = min(
+                    cold, key=lambda s: (self._loads.get(s, 0), candidates.index(s))
+                )
                 # Optimistically bump so a cold burst spreads instead of
                 # dogpiling one replica between polls.
                 self._loads[chosen] = self._loads.get(chosen, 0) + 1
@@ -251,6 +257,12 @@ class LoadBalance(MicroProtocol):
             request.fail(ServerFailedError("no live replica for load balancing"))
             occurrence.halt()
             return
+        rank = getattr(platform, "rank_servers", None)
+        if rank is not None:
+            # Kernel latency EWMAs (fed by every successful send on this
+            # platform, not just this protocol's) order the cold-start
+            # exploration; warm selection below is unaffected.
+            candidates = list(rank(candidates))
         with self._lock:
             any_cold = any(s not in self._ewma for s in candidates)
         if any_cold:

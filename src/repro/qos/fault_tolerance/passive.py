@@ -39,9 +39,10 @@ from repro.core.events import (
     EV_READY_TO_SEND,
 )
 from repro.core.interfaces import ClientPlatform, ControlMessage, ServerPlatform
+from repro.core.platform import ScatterGather, threaded_reply_future
 from repro.core.request import PB_FORWARDED, Request
 from repro.core.server import SHARED_PLATFORM as SHARED_SERVER_PLATFORM
-from repro.qos.base import ATTR_SERVANT_EXCEPTION
+from repro.qos.base import ATTR_SERVANT_EXCEPTION, server_replica_ids
 from repro.util.errors import CommunicationError, ServerFailedError
 from repro.util.log import get_logger
 
@@ -145,10 +146,13 @@ class PassiveRepServer(MicroProtocol):
     def forward_to_backups(self, occurrence: Occurrence) -> None:
         """Primary only: push the executed request to every backup.
 
-        Runs before the reply returns to the client (the forwards are
-        awaited), so a primary crash after the client saw the reply cannot
-        lose the update.  A backup that is down is skipped — it will be
-        repaired by recovery (see logging_recovery), not by the primary.
+        The forwards leave in one non-blocking scatter pass (pipelined on
+        the wire) and are then gathered before the reply returns to the
+        client, so a primary crash after the client saw the reply cannot
+        lose the update.  A backup that is down is skipped — its branch
+        outcome is a CommunicationError, repaired by recovery (see
+        logging_recovery), not by the primary.  The group comes from
+        :func:`~repro.qos.base.server_replica_ids` (sparse-id safe).
         """
         request: Request = occurrence.args[0]
         if request.piggyback.get(PB_FORWARDED):
@@ -157,22 +161,28 @@ class PassiveRepServer(MicroProtocol):
         me = platform.my_replica()
         wire = request.to_wire()
         wire["piggyback"][PB_FORWARDED] = True
-        futures = []
-        for replica in range(1, platform.num_replicas() + 1):
+        scatter = ScatterGather()
+        for replica in server_replica_ids(platform):
             if replica == me:
                 continue
-            futures.append(
-                self.composite.runtime.submit(self._forward_one, platform, replica, wire)
+            scatter.submit(
+                replica,
+                lambda replica=replica: self._forward_one(platform, replica, wire),
             )
-        for future in futures:
-            future.result(timeout=30.0)
+        for outcome in scatter.gather_all(timeout=30.0):
+            if outcome.error is not None and not isinstance(
+                outcome.error, CommunicationError
+            ):
+                raise outcome.error
 
     @staticmethod
-    def _forward_one(platform: ServerPlatform, replica: int, wire: dict) -> None:
-        try:
-            platform.peer_invoke(replica, CONTROL_FORWARD, wire)
-        except CommunicationError:
-            pass  # backup down; recovery is a separate concern
+    def _forward_one(platform: ServerPlatform, replica: int, wire: dict):
+        invoke_async = getattr(platform, "peer_invoke_async", None)
+        if invoke_async is not None:
+            return invoke_async(replica, CONTROL_FORWARD, wire)
+        return threaded_reply_future(
+            lambda: platform.peer_invoke(replica, CONTROL_FORWARD, wire)
+        )
 
     def on_forward(self, occurrence: Occurrence) -> None:
         """Backup side: execute the forwarded request through the pipeline."""

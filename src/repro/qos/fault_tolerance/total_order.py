@@ -44,9 +44,10 @@ from repro.core.events import (
     EV_READY_TO_INVOKE,
 )
 from repro.core.interfaces import ControlMessage, ServerPlatform
+from repro.core.platform import ScatterGather, threaded_reply_future
 from repro.core.request import Request
 from repro.core.server import SHARED_PLATFORM
-from repro.util.errors import CommunicationError
+from repro.qos.base import server_replica_ids
 from repro.util.log import get_logger
 
 logger = get_logger("qos.total_order")
@@ -114,22 +115,42 @@ class TotalOrder(MicroProtocol):
         self._announce(request.request_id, seq)
 
     def _announce(self, request_id: str, seq: int) -> None:
-        """Multicast the order to the other replicas in parallel."""
+        """Multicast the order: one pipelined submit pass, one drain task.
+
+        Every peer's announcement is submitted non-blocking back-to-back
+        (the async engine coalesces them into one syscall); a single
+        runtime task then drains the outcomes — a crashed replica's
+        CommunicationError is its branch outcome (ignored: it will not
+        execute anything anyway), and consuming each branch runs the
+        substrate's binding hygiene off the sequencing thread.  The group
+        comes from :func:`~repro.qos.base.server_replica_ids`, so sparse
+        sharded id spaces are announced to correctly.
+        """
         platform = self._platform()
         me = platform.my_replica()
         payload = {"request_id": request_id, "seq": seq}
-        for replica in range(1, platform.num_replicas() + 1):
+        scatter = ScatterGather()
+        for replica in server_replica_ids(platform):
             if replica != me:
-                self.composite.runtime.submit(
-                    self._announce_one, platform, replica, payload
+                scatter.submit(
+                    replica,
+                    lambda replica=replica: self._announce_one(platform, replica, payload),
                 )
+        if scatter.submitted:
+            self.composite.runtime.submit(self._drain_announcements, scatter)
 
     @staticmethod
-    def _announce_one(platform: ServerPlatform, replica: int, payload: dict) -> None:
-        try:
-            platform.peer_invoke(replica, CONTROL_ORDER, payload)
-        except CommunicationError:
-            pass  # crashed replica; it will not execute anything anyway
+    def _announce_one(platform: ServerPlatform, replica: int, payload: dict):
+        invoke_async = getattr(platform, "peer_invoke_async", None)
+        if invoke_async is not None:
+            return invoke_async(replica, CONTROL_ORDER, payload)
+        return threaded_reply_future(
+            lambda: platform.peer_invoke(replica, CONTROL_ORDER, payload)
+        )
+
+    @staticmethod
+    def _drain_announcements(scatter: ScatterGather) -> None:
+        scatter.gather_all()
 
     # -- all replicas --------------------------------------------------------
 
@@ -213,7 +234,8 @@ class TotalOrder(MicroProtocol):
         platform = self._platform()
         me = platform.my_replica()
         new_sequencer = me
-        for replica in range(1, platform.num_replicas() + 1):
+        # Lowest-numbered live replica wins; the id space may be sparse.
+        for replica in sorted(server_replica_ids(platform)):
             if replica == me:
                 new_sequencer = min(new_sequencer, replica)
                 break

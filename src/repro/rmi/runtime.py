@@ -186,6 +186,49 @@ class RmiRuntime:
         except CommunicationError:
             self.drop_connection(ref.address, connection)
             raise
+        return self._decode_return(reply_frame)
+
+    def call_async(
+        self,
+        ref: RemoteRef,
+        method: str,
+        arguments: list,
+        context: dict | None = None,
+        timeout: float | None = None,
+    ):
+        """Non-blocking :meth:`call`; returns a ReplyFuture of the value.
+
+        Encoded eagerly with the same encoder (wire bytes identical to the
+        blocking path); JRMP decode runs lazily on the consumer's thread.
+        Never raises — submit-time failures settle the future.
+        """
+        frame = jrmp.encode_call(
+            jrmp.CallMessage(
+                object_id=ref.object_id,
+                method=method,
+                arguments=arguments,
+                context=context or {},
+                oneway=False,
+            )
+        )
+        try:
+            connection = self._connection(ref.address)
+        except Exception as exc:  # noqa: BLE001 - delivered via the future
+            from repro.net.transport import ReplyFuture
+
+            return ReplyFuture.failed(exc)
+
+        def on_error(exc: BaseException):
+            if isinstance(exc, CommunicationError):
+                self.drop_connection(ref.address, connection)
+            raise exc
+
+        return connection.call_async(frame, timeout=timeout).then(
+            self._decode_return, on_error
+        )
+
+    def _decode_return(self, reply_frame: bytes) -> Any:
+        """Decode a raw JRMP return frame; map the error taxonomy."""
         reply = jrmp.decode(reply_frame)
         if not isinstance(reply, jrmp.ReturnMessage):
             raise CommunicationError("expected a JRMP return message")

@@ -42,13 +42,18 @@ def run_request(client, operation="echo", params=("v",)):
 
 
 class TestActiveRepMechanics:
-    def test_one_binding_per_replica(self):
+    def test_scatter_bindings(self):
         platform = FakeClientPlatform(servers=3)
         client = make_client(platform, [ActiveRep()])
         try:
-            bindings = client.event(EV_NEW_REQUEST).bindings()
-            # 3 actAssigner instances + 1 base assigner.
-            assert len(bindings) == 4
+            # One scatter assigner + the base assigner (the fan-out happens
+            # per-request now, not as per-replica bindings).
+            new_request = client.event(EV_NEW_REQUEST).bindings()
+            assert [b.handler.__name__ for b in new_request] == ["act_assigner", "assigner"]
+            # The pipelined submitter overrides the base syncInvoker.
+            ready = client.event(EV_READY_TO_SEND).bindings()
+            assert [b.handler.__name__ for b in ready] == ["submit_invoker", "sync_invoker"]
+            assert ready[0].order < ORDER_LAST
         finally:
             client.shutdown()
             client.runtime.shutdown()
